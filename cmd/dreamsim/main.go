@@ -1,0 +1,75 @@
+// Command dreamsim runs one simulation: a workload under a mitigation
+// scheme at a Rowhammer threshold, printing performance and mitigation
+// metrics. Compare against the unprotected baseline with -compare.
+//
+// Usage:
+//
+//	dreamsim -workload mcf -scheme mint-dreamr -trh 2000 -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	dream "repro"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "mcf", "workload name (see -list)")
+		scheme   = flag.String("scheme", "mint-dreamr", "mitigation scheme (see -list)")
+		trh      = flag.Int("trh", 2000, "double-sided Rowhammer threshold")
+		cores    = flag.Int("cores", 8, "number of cores (rate mode)")
+		accesses = flag.Uint64("accesses", 200_000, "memory accesses per core")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		compare  = flag.Bool("compare", false, "also run the unprotected baseline and report slowdown")
+		list     = flag.Bool("list", false, "list workloads and schemes, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", strings.Join(dream.Workloads(), " "))
+		ids := make([]string, 0)
+		for _, s := range dream.Schemes() {
+			ids = append(ids, string(s))
+		}
+		fmt.Println("schemes:  ", strings.Join(ids, " "))
+		return
+	}
+
+	cfg := dream.Config{
+		Workload:        *wl,
+		Scheme:          dream.SchemeID(*scheme),
+		TRH:             *trh,
+		Cores:           *cores,
+		AccessesPerCore: *accesses,
+		Seed:            *seed,
+	}
+
+	if *compare {
+		base, res, slowdown, err := dream.Compare(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dreamsim:", err)
+			os.Exit(1)
+		}
+		print1("baseline", base)
+		print1(*scheme, res)
+		fmt.Printf("slowdown: %.2f%%\n", 100*slowdown)
+		return
+	}
+	res, err := dream.Simulate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dreamsim:", err)
+		os.Exit(1)
+	}
+	print1(*scheme, res)
+}
+
+func print1(name string, r dream.Result) {
+	fmt.Printf("%-14s ipc-sum=%.3f simtime=%.0fus mpki=%.1f bw=%.1f%% acts=%d rowhits=%d\n",
+		name, r.IPCSum(), r.SimTimeNS/1000, r.MPKI, 100*r.BWUtil, r.Activations, r.RowHits)
+	fmt.Printf("               nrr=%d drfmsb=%d drfmab=%d rlp=%.2f mitigations=%d sram=%.1fKB/subch\n",
+		r.NRRs, r.DRFMsbs, r.DRFMabs, r.RLP, r.Mitigations, float64(r.StorageBits)/8/1024)
+}

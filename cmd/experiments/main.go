@@ -1,0 +1,68 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list                 # show every experiment
+//	experiments -run fig9             # reproduce Figure 9
+//	experiments -run fig15top -quick  # reduced run for a fast look
+//	experiments -run all              # everything (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment ID (or 'all')")
+		quick = flag.Bool("quick", false, "reduced workload set and shorter traces")
+		seed  = flag.Uint64("seed", 0, "override the experiment seed")
+		wls   = flag.String("workloads", "", "comma-separated workload subset")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, e := range exp.Registry {
+			fmt.Printf("  %-20s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	o := exp.Options{Quick: *quick, Seed: *seed, Out: os.Stdout}
+	if *wls != "" {
+		o.Workloads = strings.Split(*wls, ",")
+	}
+
+	runOne := func(e exp.Experiment) {
+		start := time.Now()
+		fmt.Printf("--- %s: %s ---\n", e.ID, e.Desc)
+		if err := e.Run(o); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *run == "all" {
+		for _, e := range exp.Registry {
+			runOne(e)
+		}
+		return
+	}
+	for _, id := range strings.Split(*run, ",") {
+		e, err := exp.Find(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		runOne(e)
+	}
+}

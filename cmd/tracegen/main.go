@@ -1,0 +1,129 @@
+// Command tracegen inspects the synthetic workload generators: it emits a
+// trace prefix in a simple text format (gap, line address, R/W) and a
+// characterisation summary (MPKI-equivalent gap statistics, footprint,
+// sequential fraction, per-bank row-touch counts through the MOP4 mapping).
+// Useful for validating the Table-3 calibration and for feeding external
+// tools.
+//
+// Usage:
+//
+//	tracegen -workload lbm -n 100000 -summary
+//	tracegen -workload triad -n 32 -dump
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/addrmap"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "mcf", "workload name")
+		n       = flag.Uint64("n", 100_000, "accesses to generate")
+		core    = flag.Int("core", 0, "core ID (selects the footprint)")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		dump    = flag.Bool("dump", false, "print the trace (gap addr r/w)")
+		summary = flag.Bool("summary", true, "print the characterisation summary")
+	)
+	flag.Parse()
+
+	p, err := workload.ByName(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	gen, err := workload.New(p, *n, *core, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	mapper, err := addrmap.NewMOP4(addrmap.Default())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	var (
+		accesses, writes, seq uint64
+		gapSum                float64
+		prev                  uint64
+		rows                  = map[uint64]uint64{}
+		banks                 = map[int]uint64{}
+	)
+	for {
+		gap, addr, isWrite, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if *dump {
+			rw := "R"
+			if isWrite {
+				rw = "W"
+			}
+			fmt.Fprintf(out, "%d 0x%x %s\n", gap, addr*64, rw)
+		}
+		accesses++
+		gapSum += float64(gap)
+		if isWrite {
+			writes++
+		}
+		if addr == prev+1 {
+			seq++
+		}
+		prev = addr
+		loc := mapper.Map(addr)
+		rows[uint64(loc.Sub)<<40|uint64(loc.Bank)<<32|uint64(loc.Row)]++
+		banks[loc.Sub*64+loc.Bank]++
+	}
+
+	if !*summary {
+		return
+	}
+	fmt.Fprintf(out, "workload      %s (core %d, seed %d)\n", p.Name, *core, *seed)
+	fmt.Fprintf(out, "accesses      %d\n", accesses)
+	fmt.Fprintf(out, "mean gap      %.1f instructions (target MPKI %.1f => %.1f)\n",
+		gapSum/float64(accesses), p.MPKI, 1000/p.MPKI-1)
+	fmt.Fprintf(out, "write frac    %.1f%%\n", 100*float64(writes)/float64(accesses))
+	fmt.Fprintf(out, "seq frac      %.1f%%\n", 100*float64(seq)/float64(accesses))
+	fmt.Fprintf(out, "rows touched  %d\n", len(rows))
+
+	var counts []uint64
+	var total uint64
+	for _, c := range rows {
+		counts = append(counts, c)
+		total += c
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	hist := map[string]int{}
+	for _, c := range counts {
+		switch {
+		case c >= 5:
+			hist[">=5"]++
+		default:
+			hist["1-4"]++
+		}
+	}
+	fmt.Fprintf(out, "rows 1-4 touches: %d, >=5 touches: %d\n", hist["1-4"], hist[">=5"])
+	if len(counts) > 0 {
+		fmt.Fprintf(out, "hottest row   %d touches; top-10 rows carry %.1f%% of traffic\n",
+			counts[0], 100*float64(sumTop(counts, 10))/float64(total))
+	}
+	fmt.Fprintf(out, "banks touched %d of 64\n", len(banks))
+}
+
+func sumTop(counts []uint64, k int) uint64 {
+	var s uint64
+	for i := 0; i < k && i < len(counts); i++ {
+		s += counts[i]
+	}
+	return s
+}

@@ -1,0 +1,346 @@
+// Package dream is a from-scratch Go reproduction of "DREAM: Enabling
+// Low-Overhead Rowhammer Mitigation via Directed Refresh Management"
+// (Taneja & Qureshi, ISCA 2025).
+//
+// The package is a facade over the full simulation stack in internal/: a
+// DDR5 memory-system simulator with the JEDEC DRFM interface, the paper's
+// baseline trackers (PARA, MINT, Graphene, ABACuS, MOAT/PRAC), and the
+// paper's contributions DREAM-R and DREAM-C. Three entry points cover most
+// uses:
+//
+//   - Simulate runs one workload under one mitigation scheme and reports
+//     performance and mitigation metrics.
+//   - Attack mounts a Rowhammer pattern against a scheme and reports the
+//     security audit (maximum unmitigated activations).
+//   - The Analysis functions expose the paper's analytic models (revised
+//     tracker parameters, storage budgets, rate-limit impact).
+//
+// Experiments regenerating every table and figure live behind
+// cmd/experiments; see DESIGN.md for the per-experiment index.
+package dream
+
+import (
+	"fmt"
+
+	"repro/internal/addrmap"
+	dreamcore "repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/exp"
+	"repro/internal/memctrl"
+	"repro/internal/security"
+	"repro/internal/stats"
+	"repro/internal/tracker"
+	"repro/internal/workload"
+)
+
+// SchemeID names a mitigation configuration.
+type SchemeID string
+
+// Built-in schemes. NRR is the hypothetical per-bank command prior work
+// assumed; DRFMsb/DRFMab are the JEDEC DDR5 commands; DREAM-R and DREAM-C
+// are the paper's contributions.
+const (
+	Unprotected   SchemeID = "base"
+	PARANRR       SchemeID = "para-nrr"
+	PARADRFMsb    SchemeID = "para-drfmsb"
+	PARADRFMab    SchemeID = "para-drfmab"
+	MINTNRR       SchemeID = "mint-nrr"
+	MINTDRFMsb    SchemeID = "mint-drfmsb"
+	MINTDRFMab    SchemeID = "mint-drfmab"
+	DreamRPARA    SchemeID = "para-dreamr"
+	DreamRMINT    SchemeID = "mint-dreamr"
+	DreamRMINTRL  SchemeID = "mint-dreamr-rmaq"
+	GrapheneNRR   SchemeID = "graphene-nrr"
+	GrapheneDRFM  SchemeID = "graphene-drfmsb"
+	DreamC        SchemeID = "dreamc"
+	DreamCSetAssc SchemeID = "dreamc-setassoc"
+	DreamC2x      SchemeID = "dreamc-2x"
+	ABACuS        SchemeID = "abacus"
+	MOATPRAC      SchemeID = "moat"
+)
+
+// Schemes lists every built-in scheme ID.
+func Schemes() []SchemeID {
+	return []SchemeID{
+		Unprotected, PARANRR, PARADRFMsb, PARADRFMab, MINTNRR, MINTDRFMsb,
+		MINTDRFMab, DreamRPARA, DreamRMINT, DreamRMINTRL, GrapheneNRR,
+		GrapheneDRFM, DreamC, DreamCSetAssc, DreamC2x, ABACuS, MOATPRAC,
+	}
+}
+
+func schemeFor(id SchemeID) (exp.Scheme, error) {
+	switch id {
+	case Unprotected:
+		return exp.Baseline, nil
+	case PARANRR:
+		return exp.PARAWith(tracker.ModeNRR), nil
+	case PARADRFMsb:
+		return exp.PARAWith(tracker.ModeDRFMsb), nil
+	case PARADRFMab:
+		return exp.PARAWith(tracker.ModeDRFMab), nil
+	case MINTNRR:
+		return exp.MINTWith(tracker.ModeNRR), nil
+	case MINTDRFMsb:
+		return exp.MINTWith(tracker.ModeDRFMsb), nil
+	case MINTDRFMab:
+		return exp.MINTWith(tracker.ModeDRFMab), nil
+	case DreamRPARA:
+		return exp.DreamRPARA(true), nil
+	case DreamRMINT:
+		return exp.DreamRMINT(true, false), nil
+	case DreamRMINTRL:
+		return exp.DreamRMINT(true, true), nil
+	case GrapheneNRR:
+		return exp.GrapheneWith(tracker.ModeNRR), nil
+	case GrapheneDRFM:
+		return exp.GrapheneWith(tracker.ModeDRFMsb), nil
+	case DreamC:
+		return exp.DreamC(dreamcore.GroupRandomized, 1, false), nil
+	case DreamCSetAssc:
+		return exp.DreamC(dreamcore.GroupSetAssociative, 1, false), nil
+	case DreamC2x:
+		return exp.DreamC(dreamcore.GroupRandomized, 2, false), nil
+	case ABACuS:
+		return exp.ABACuS(), nil
+	case MOATPRAC:
+		return exp.MOAT(), nil
+	default:
+		return exp.Scheme{}, fmt.Errorf("dream: unknown scheme %q", id)
+	}
+}
+
+// Config describes one simulation through the facade.
+type Config struct {
+	// Workload is one of Workloads() (paper Table 3); rate mode runs one
+	// copy per core.
+	Workload string
+	// Scheme selects the mitigation configuration.
+	Scheme SchemeID
+	// TRH is the double-sided Rowhammer threshold (default 2000).
+	TRH int
+	// Cores (default 8) and AccessesPerCore (default 200_000) size the run.
+	Cores           int
+	AccessesPerCore uint64
+	// Seed makes runs reproducible (default fixed).
+	Seed uint64
+	// WindowScale scales counter-tracker thresholds to the simulated
+	// fraction of the 32 ms refresh window (default 1/16; see DESIGN.md).
+	WindowScale float64
+	// Audit enables the security auditor.
+	Audit bool
+}
+
+// Result is re-exported from the stats package.
+type Result = stats.RunResult
+
+// Workloads lists the Table-3 workload names.
+func Workloads() []string { return workload.Names() }
+
+// Simulate runs one configuration.
+func Simulate(cfg Config) (Result, error) {
+	sc, err := schemeFor(cfg.Scheme)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.TRH == 0 {
+		cfg.TRH = 2000
+	}
+	if cfg.WindowScale == 0 {
+		cfg.WindowScale = 1.0 / 16
+	}
+	return exp.Run(exp.RunConfig{
+		Workload:        cfg.Workload,
+		Cores:           cfg.Cores,
+		AccessesPerCore: cfg.AccessesPerCore,
+		TRH:             cfg.TRH,
+		Scheme:          sc,
+		Seed:            cfg.Seed,
+		WindowScale:     cfg.WindowScale,
+		Audit:           cfg.Audit,
+	})
+}
+
+// Compare runs the unprotected baseline and the scheme on identical traces
+// and returns both results plus the slowdown fraction.
+func Compare(cfg Config) (base, scheme Result, slowdown float64, err error) {
+	sc, err := schemeFor(cfg.Scheme)
+	if err != nil {
+		return
+	}
+	if cfg.TRH == 0 {
+		cfg.TRH = 2000
+	}
+	if cfg.WindowScale == 0 {
+		cfg.WindowScale = 1.0 / 16
+	}
+	return exp.RunPair(exp.RunConfig{
+		Workload:        cfg.Workload,
+		Cores:           cfg.Cores,
+		AccessesPerCore: cfg.AccessesPerCore,
+		TRH:             cfg.TRH,
+		Scheme:          sc,
+		Seed:            cfg.Seed,
+		WindowScale:     cfg.WindowScale,
+		Audit:           cfg.Audit,
+	})
+}
+
+// AttackKind selects a Rowhammer pattern.
+type AttackKind string
+
+// Attack patterns.
+const (
+	// AttackDoubleSided alternates the two neighbours of a victim row.
+	AttackDoubleSided AttackKind = "double-sided"
+	// AttackCircular cycles W unique rows (the MINT-stressing pattern).
+	AttackCircular AttackKind = "circular"
+)
+
+// AttackConfig describes an attack run.
+type AttackConfig struct {
+	Kind    AttackKind
+	Scheme  SchemeID
+	TRH     int
+	Acts    uint64 // attacker activations (default 500_000)
+	Seed    uint64
+	Victims string // optional benign workload on the other cores
+}
+
+// AttackResult reports the audit outcome.
+type AttackResult struct {
+	Result
+	// Breached reports whether any victim accumulated 2·TRH neighbour
+	// activations without a refresh — the paper's §2.1 success criterion
+	// with its Appendix-B convention that a double-sided threshold of TRH
+	// permits TRH activations per side (single-sided tolerance is 2·TRH).
+	Breached bool
+}
+
+// Attack mounts the pattern against the scheme with the auditor enabled.
+// The attacker runs with a tiny LLC (modelling clflush) at maximum rate.
+func Attack(cfg AttackConfig) (AttackResult, error) {
+	sc, err := schemeFor(cfg.Scheme)
+	if err != nil {
+		return AttackResult{}, err
+	}
+	if cfg.TRH == 0 {
+		cfg.TRH = 2000
+	}
+	if cfg.Acts == 0 {
+		cfg.Acts = 500_000
+	}
+	mapper, err := addrmap.NewMOP4(addrmap.Default())
+	if err != nil {
+		return AttackResult{}, err
+	}
+	var atk cpu.Trace
+	switch cfg.Kind {
+	case AttackDoubleSided:
+		atk, err = workload.DoubleSided(mapper, 0, 5, 4000, cfg.Acts)
+	case AttackCircular:
+		atk, err = workload.Circular(mapper, 0, 5, 8000, cfg.TRH/20, cfg.Acts)
+	default:
+		err = fmt.Errorf("dream: unknown attack kind %q", cfg.Kind)
+	}
+	if err != nil {
+		return AttackResult{}, err
+	}
+	traces := make([]cpu.Trace, 8)
+	traces[0] = atk
+	for i := 1; i < 8; i++ {
+		if cfg.Victims != "" {
+			p, err := workload.ByName(cfg.Victims)
+			if err != nil {
+				return AttackResult{}, err
+			}
+			g, err := workload.New(p, cfg.Acts/8, i, cfg.Seed)
+			if err != nil {
+				return AttackResult{}, err
+			}
+			traces[i] = g
+		} else {
+			traces[i] = workload.IdleTrace{}
+		}
+	}
+	r, err := exp.Run(exp.RunConfig{
+		Workload: string(cfg.Kind), Cores: 8, AccessesPerCore: cfg.Acts,
+		TRH: cfg.TRH, Scheme: sc, Seed: cfg.Seed, WindowScale: 1,
+		Audit: true, SmallLLC: true, Traces: traces,
+	})
+	if err != nil {
+		return AttackResult{}, err
+	}
+	return AttackResult{Result: r, Breached: r.MaxVictim >= 2*uint64(cfg.TRH)}, nil
+}
+
+// Mitigator is re-exported so downstream users can implement custom
+// trackers against the controller hook (see examples/customtracker).
+type Mitigator = memctrl.Mitigator
+
+// Decision, Op, Tick, and Mitigation are the hook vocabulary for custom
+// mitigators.
+type (
+	Decision   = memctrl.Decision
+	Op         = memctrl.Op
+	Tick       = memctrl.Tick
+	Mitigation = dram.Mitigation
+)
+
+// Op kinds, re-exported.
+const (
+	OpNRR            = memctrl.OpNRR
+	OpDRFMsb         = memctrl.OpDRFMsb
+	OpDRFMab         = memctrl.OpDRFMab
+	OpExplicitSample = memctrl.OpExplicitSample
+	OpGangMitigate   = memctrl.OpGangMitigate
+	OpStallAll       = memctrl.OpStallAll
+)
+
+// SimulateCustom runs a workload under a user-provided mitigator factory
+// (one mitigator per sub-channel).
+func SimulateCustom(cfg Config, build func(sub int) Mitigator) (Result, error) {
+	if cfg.TRH == 0 {
+		cfg.TRH = 2000
+	}
+	if cfg.WindowScale == 0 {
+		cfg.WindowScale = 1.0 / 16
+	}
+	sc := exp.Scheme{
+		Name:  "custom",
+		Build: func(env exp.Env, sub int) (memctrl.Mitigator, error) { return build(sub), nil },
+	}
+	return exp.Run(exp.RunConfig{
+		Workload:        cfg.Workload,
+		Cores:           cfg.Cores,
+		AccessesPerCore: cfg.AccessesPerCore,
+		TRH:             cfg.TRH,
+		Scheme:          sc,
+		Seed:            cfg.Seed,
+		WindowScale:     cfg.WindowScale,
+		Audit:           cfg.Audit,
+	})
+}
+
+// Analysis re-exports the paper's analytic models.
+type Analysis struct{}
+
+// RevisedPARAProb returns DREAM-R's PARA probability without ATM
+// (Appendix A; 1/85 at T_RH = 2000).
+func (Analysis) RevisedPARAProb(trh int) float64 { return security.RevisedPARAProbApprox(trh) }
+
+// RevisedMINTWindow returns DREAM-R's MINT window without ATM (Appendix B).
+func (Analysis) RevisedMINTWindow(trh int) int { return security.RevisedMINTWindow(trh) }
+
+// GrapheneKBPerBank returns Table 1's storage.
+func (Analysis) GrapheneKBPerBank(trh int) float64 { return security.GrapheneKBPerBank(trh) }
+
+// DreamCKBPerBank returns Table 6's storage.
+func (Analysis) DreamCKBPerBank(trh int) float64 { return security.DreamCKBPerBank(trh, 1) }
+
+// ABACuSKBPerBank returns the §5.8 comparison storage.
+func (Analysis) ABACuSKBPerBank(trh int) float64 { return security.ABACuSKBPerBank(trh) }
+
+// RMAQImpact returns Table 7's threshold increase under the DRFM rate
+// limit.
+func (Analysis) RMAQImpact(w int) int { return security.RMAQImpact(w) }

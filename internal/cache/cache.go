@@ -1,0 +1,148 @@
+// Package cache implements the shared last-level cache of the baseline
+// system (paper Table 2): 8 MB, 16-way, 64 B lines, LRU replacement,
+// write-back and write-allocate. Only LLC misses reach the memory
+// controller, so the cache determines the MPKI and row-locality the DRAM
+// model observes.
+package cache
+
+import "fmt"
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp (monotone access counter)
+}
+
+// Config sizes the cache.
+type Config struct {
+	SizeBytes int // total capacity (8 MiB)
+	Ways      int // associativity (16)
+	LineBytes int // line size (64)
+}
+
+// DefaultConfig returns the Table-2 LLC configuration.
+func DefaultConfig() Config {
+	return Config{SizeBytes: 8 << 20, Ways: 16, LineBytes: 64}
+}
+
+// Cache is a set-associative, write-back, write-allocate cache indexed by
+// line address (physical address / LineBytes).
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	tick     uint64
+	Hits     uint64
+	Misses   uint64
+	Evicts   uint64
+	Writebks uint64
+}
+
+// New builds a cache; it returns an error for non-power-of-two shapes.
+func New(cfg Config) (*Cache, error) {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 || cfg.LineBytes <= 0 {
+		return nil, fmt.Errorf("cache: non-positive config %+v", cfg)
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	if lines%cfg.Ways != 0 {
+		return nil, fmt.Errorf("cache: %d lines not divisible by %d ways", lines, cfg.Ways)
+	}
+	nsets := lines / cfg.Ways
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d not a power of two", nsets)
+	}
+	sets := make([][]line, nsets)
+	backing := make([]line, lines)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(nsets - 1)}, nil
+}
+
+// Result describes the outcome of an access.
+type Result struct {
+	Hit bool
+	// Writeback is set when a dirty victim was evicted; WritebackAddr is its
+	// line address, which must be written to memory.
+	Writeback     bool
+	WritebackAddr uint64
+}
+
+// Access performs a load (isWrite=false) or store (isWrite=true) to
+// lineAddr. Stores allocate on miss and mark the line dirty.
+func (c *Cache) Access(lineAddr uint64, isWrite bool) Result {
+	c.tick++
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> uint64(len64(c.setMask))
+
+	// Hit path.
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].used = c.tick
+			if isWrite {
+				set[i].dirty = true
+			}
+			c.Hits++
+			return Result{Hit: true}
+		}
+	}
+	c.Misses++
+
+	// Miss: pick an invalid way, else the LRU way.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			goto fill
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+fill:
+	res := Result{}
+	if set[victim].valid {
+		c.Evicts++
+		if set[victim].dirty {
+			c.Writebks++
+			res.Writeback = true
+			res.WritebackAddr = set[victim].tag<<uint64(len64(c.setMask)) | (lineAddr & c.setMask)
+		}
+	}
+	set[victim] = line{tag: tag, valid: true, dirty: isWrite, used: c.tick}
+	return res
+}
+
+// Probe reports whether lineAddr is resident without touching LRU state.
+func (c *Cache) Probe(lineAddr uint64) bool {
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> uint64(len64(c.setMask))
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// MissRate reports misses / accesses so far.
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}
+
+// Sets reports the number of sets (for tests).
+func (c *Cache) Sets() int { return len(c.sets) }
+
+func len64(mask uint64) int {
+	n := 0
+	for mask != 0 {
+		mask >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,302 @@
+// Package cpu implements an interval-based out-of-order core model.
+//
+// The paper's evaluation uses 8 detailed OoO cores (4 GHz, 4-wide, 256-entry
+// ROB). For the relative-slowdown results the figures report, what matters
+// is that cores (a) expose bounded memory-level parallelism and (b) stall
+// when the ROB head is an outstanding miss — exactly the behaviour an
+// interval model captures analytically. The model dispatches and retires at
+// 4 instructions/cycle, holds at most ROBSize instructions in flight, caps
+// outstanding misses at MSHRs, and blocks retirement on incomplete loads.
+//
+// The core is event-driven: between miss completions its behaviour is
+// closed-form, so it only executes work when a completion arrives. Traces
+// supply (gap, address, isWrite) tuples where gap is the number of
+// non-memory instructions preceding the access.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Trace supplies a core's instruction stream as memory accesses separated by
+// gaps of non-memory instructions.
+type Trace interface {
+	// Next returns the next access; ok=false ends the trace.
+	Next() (gap int, lineAddr uint64, isWrite bool, ok bool)
+}
+
+// Port is the memory system as seen by one core. Load reports either an
+// immediately-known completion time (LLC hit) or pending=true, in which case
+// the system later calls Core.Complete with the same token. Store is posted:
+// it never blocks retirement.
+type Port interface {
+	Load(core int, when sim.Tick, lineAddr uint64, token uint64) (done sim.Tick, pending bool)
+	Store(core int, when sim.Tick, lineAddr uint64)
+}
+
+// Config holds the core parameters (paper Table 2).
+type Config struct {
+	Width   int // dispatch/retire width (4)
+	ROBSize int // reorder-buffer entries (256)
+	MSHRs   int // outstanding-miss limit (16)
+}
+
+// DefaultConfig returns the Table-2 core configuration.
+func DefaultConfig() Config { return Config{Width: 4, ROBSize: 256, MSHRs: 32} }
+
+// maxPlainSegment caps how many gap instructions are folded into a single
+// ROB segment; it bounds the slack the segment-granular ROB introduces.
+const maxPlainSegment = 64
+
+type segment struct {
+	id            uint64
+	instrs        int
+	dispatchEnd   sim.Tick
+	complete      sim.Tick
+	completeKnown bool
+}
+
+// Core is one interval-modelled out-of-order core.
+type Core struct {
+	id    int
+	cfg   Config
+	trace Trace
+	port  Port
+
+	// ROB as a ring of segments.
+	ring  []segment
+	head  int
+	count int
+
+	nextSegID   uint64
+	occupancy   int // instructions currently in the ROB
+	frontier    sim.Tick
+	spaceFree   sim.Tick
+	dispatchClk sim.Tick
+
+	pendingGap  int
+	haveAccess  bool
+	accessAddr  uint64
+	accessWrite bool
+	traceDone   bool
+
+	outstanding int  // misses in flight
+	mshrBlocked bool // dispatch stalled on a full MSHR file
+
+	// Stats.
+	Retired    int64
+	Loads      uint64
+	Stores     uint64
+	MissLoads  uint64
+	finished   bool
+	finishTime sim.Tick
+}
+
+// New builds a core over the given trace and memory port.
+func New(id int, cfg Config, trace Trace, port Port) (*Core, error) {
+	if cfg.Width <= 0 || cfg.ROBSize <= 0 || cfg.MSHRs <= 0 {
+		return nil, fmt.Errorf("cpu: invalid config %+v", cfg)
+	}
+	c := &Core{id: id, cfg: cfg, trace: trace, port: port,
+		ring: make([]segment, 1, 64)}
+	c.ring = c.ring[:0]
+	return c, nil
+}
+
+// retireTicks is the time to dispatch or retire n instructions at Width per
+// CPU cycle, in ticks (ceil).
+func (c *Core) retireTicks(n int) sim.Tick {
+	return (sim.Tick(n)*sim.CPUCycle + sim.Tick(c.cfg.Width) - 1) / sim.Tick(c.cfg.Width)
+}
+
+// Step drains retirements and dispatches as far as current knowledge allows.
+// It is called once to start the core and after every Complete.
+func (c *Core) Step() {
+	for {
+		c.retire()
+		if !c.dispatch() {
+			// dispatch may have just exhausted the trace; re-check the
+			// finish condition (an empty trace finishes immediately).
+			c.retire()
+			return
+		}
+	}
+}
+
+// Complete delivers a miss completion for token at time done.
+func (c *Core) Complete(token uint64, done sim.Tick) {
+	found := false
+	for i := 0; i < c.count; i++ {
+		s := &c.ring[(c.head+i)%len(c.ring)]
+		if s.id == token && !s.completeKnown {
+			s.complete = done
+			s.completeKnown = true
+			found = true
+			break
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("cpu: completion for unknown token %d", token))
+	}
+	c.outstanding--
+	if c.mshrBlocked {
+		c.mshrBlocked = false
+		if done > c.dispatchClk {
+			c.dispatchClk = done
+		}
+	}
+	c.Step()
+}
+
+// retire pops all head segments whose completion time is known.
+func (c *Core) retire() {
+	for c.count > 0 {
+		s := &c.ring[c.head]
+		if !s.completeKnown {
+			return
+		}
+		end := c.frontier + c.retireTicks(s.instrs)
+		if s.complete > end {
+			end = s.complete
+		}
+		if s.dispatchEnd > end {
+			end = s.dispatchEnd
+		}
+		c.frontier = end
+		c.spaceFree = end
+		c.occupancy -= s.instrs
+		c.Retired += int64(s.instrs)
+		c.head = (c.head + 1) % len(c.ring)
+		c.count--
+	}
+	if c.count == 0 && c.traceDone && c.pendingGap == 0 && !c.haveAccess && !c.finished {
+		c.finished = true
+		c.finishTime = c.frontier
+	}
+}
+
+// dispatch inserts as many instructions as ROB space and MSHRs allow. It
+// reports whether progress was made (so Step can re-run retirement).
+func (c *Core) dispatch() bool {
+	progressed := false
+	for {
+		if c.pendingGap == 0 && !c.haveAccess {
+			if c.traceDone {
+				return progressed
+			}
+			gap, addr, w, ok := c.trace.Next()
+			if !ok {
+				c.traceDone = true
+				return progressed
+			}
+			if gap < 0 {
+				gap = 0
+			}
+			c.pendingGap = gap
+			c.haveAccess = true
+			c.accessAddr = addr
+			c.accessWrite = w
+		}
+		if c.pendingGap > 0 {
+			n := c.pendingGap
+			if n > maxPlainSegment {
+				n = maxPlainSegment
+			}
+			if c.occupancy+n > c.cfg.ROBSize {
+				n = c.cfg.ROBSize - c.occupancy
+			}
+			if n == 0 {
+				return progressed
+			}
+			start := c.dispatchClk
+			if c.spaceFree > start && c.occupancy+n > c.cfg.ROBSize-maxPlainSegment {
+				start = c.spaceFree
+			}
+			end := start + c.retireTicks(n)
+			c.push(segment{id: c.nextID(), instrs: n, dispatchEnd: end, complete: end, completeKnown: true})
+			c.dispatchClk = end
+			c.occupancy += n
+			c.pendingGap -= n
+			progressed = true
+			continue
+		}
+		// Dispatch the access itself (one instruction).
+		if c.occupancy+1 > c.cfg.ROBSize {
+			return progressed
+		}
+		start := c.dispatchClk
+		if c.spaceFree > start && c.occupancy+1 > c.cfg.ROBSize-1 {
+			start = c.spaceFree
+		}
+		end := start + c.retireTicks(1)
+		if c.accessWrite {
+			c.port.Store(c.id, end, c.accessAddr)
+			c.push(segment{id: c.nextID(), instrs: 1, dispatchEnd: end, complete: end, completeKnown: true})
+			c.Stores++
+		} else {
+			if c.outstanding >= c.cfg.MSHRs {
+				c.mshrBlocked = true
+				return progressed
+			}
+			id := c.nextID()
+			done, pending := c.port.Load(c.id, end, c.accessAddr, id)
+			seg := segment{id: id, instrs: 1, dispatchEnd: end}
+			if pending {
+				c.outstanding++
+				c.MissLoads++
+			} else {
+				seg.complete = done
+				seg.completeKnown = true
+			}
+			c.push(seg)
+			c.Loads++
+		}
+		c.dispatchClk = end
+		c.occupancy++
+		c.haveAccess = false
+		progressed = true
+		if c.occupancy >= c.cfg.ROBSize || c.mshrBlocked {
+			return progressed
+		}
+	}
+}
+
+func (c *Core) nextID() uint64 {
+	c.nextSegID++
+	return c.nextSegID
+}
+
+func (c *Core) push(s segment) {
+	if c.count == len(c.ring) {
+		// Grow the ring.
+		bigger := make([]segment, len(c.ring)*2+8)
+		for i := 0; i < c.count; i++ {
+			bigger[i] = c.ring[(c.head+i)%len(c.ring)]
+		}
+		c.ring = bigger
+		c.head = 0
+	}
+	c.ring[(c.head+c.count)%len(c.ring)] = s
+	c.count++
+}
+
+// Finished reports whether the core has retired its entire trace, and when.
+func (c *Core) Finished() (bool, sim.Tick) { return c.finished, c.finishTime }
+
+// Outstanding reports in-flight misses (for tests).
+func (c *Core) Outstanding() int { return c.outstanding }
+
+// IPC reports retired instructions per CPU cycle, using the core's finish
+// time if done, else the retirement frontier.
+func (c *Core) IPC() float64 {
+	t := c.frontier
+	if c.finished {
+		t = c.finishTime
+	}
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Retired) / (float64(t) / float64(sim.CPUCycle))
+}

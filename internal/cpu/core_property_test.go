@@ -1,0 +1,112 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// randomPort completes misses at randomised latencies, simulating an
+// unpredictable memory system, while recording every token for in-order
+// delivery by completion time.
+type randomPort struct {
+	rng     *sim.RNG
+	pending []pendingReq
+}
+
+func (p *randomPort) Load(core int, when sim.Tick, addr uint64, token uint64) (sim.Tick, bool) {
+	if p.rng.Bernoulli(0.3) {
+		return when + sim.Tick(p.rng.Intn(200)), false // LLC hit
+	}
+	p.pending = append(p.pending, pendingReq{core, when + sim.Tick(100+p.rng.Intn(3000)), token})
+	return 0, true
+}
+
+func (p *randomPort) Store(core int, when sim.Tick, addr uint64) {}
+
+// TestCoreRetiresEverything: for random traces and random memory latencies,
+// the core must retire exactly gap+1 instructions per access and finish.
+func TestCoreRetiresEverything(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		rng := sim.NewRNG(seed)
+		n := int(nRaw%300) + 1
+		tr := &sliceTrace{}
+		var want int64
+		for i := 0; i < n; i++ {
+			gap := rng.Intn(50)
+			tr.items = append(tr.items, traceItem{
+				gap:   gap,
+				addr:  rng.Uint64() % (1 << 24),
+				write: rng.Bernoulli(0.2),
+			})
+			want += int64(gap) + 1
+		}
+		port := &randomPort{rng: rng.Fork(1)}
+		c, err := New(0, DefaultConfig(), tr, port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Step()
+		// Drain completions in time order (a stable sort by completion).
+		for len(port.pending) > 0 {
+			best := 0
+			for i, pr := range port.pending {
+				if pr.when < port.pending[best].when {
+					best = i
+				}
+			}
+			pr := port.pending[best]
+			port.pending = append(port.pending[:best], port.pending[best+1:]...)
+			c.Complete(pr.token, pr.when)
+		}
+		done, ft := c.Finished()
+		if !done {
+			t.Logf("seed %d: core unfinished, retired %d/%d", seed, c.Retired, want)
+			return false
+		}
+		if c.Retired != want {
+			t.Logf("seed %d: retired %d, want %d", seed, c.Retired, want)
+			return false
+		}
+		// Finish time must be at least the dispatch-bandwidth lower bound.
+		minTicks := c.retireTicks(int(want))
+		if ft < minTicks {
+			t.Logf("seed %d: finish %v below bandwidth bound %v", seed, ft, minTicks)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOutstandingNeverExceedsMSHRs (property).
+func TestOutstandingNeverExceedsMSHRs(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		cfg := DefaultConfig()
+		cfg.MSHRs = 1 + rng.Intn(8)
+		tr := mkTrace(100, 0)
+		port := &fakePort{pendAll: true}
+		c, err := New(0, cfg, tr, port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Step()
+		maxOut := c.Outstanding()
+		for len(port.pending) > 0 {
+			pr := port.pending[0]
+			port.pending = port.pending[1:]
+			c.Complete(pr.token, sim.Tick(100))
+			if c.Outstanding() > maxOut {
+				maxOut = c.Outstanding()
+			}
+		}
+		return maxOut <= cfg.MSHRs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

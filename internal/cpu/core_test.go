@@ -1,0 +1,246 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// sliceTrace replays a fixed access list.
+type sliceTrace struct {
+	items []traceItem
+	pos   int
+}
+
+type traceItem struct {
+	gap   int
+	addr  uint64
+	write bool
+}
+
+func (s *sliceTrace) Next() (int, uint64, bool, bool) {
+	if s.pos >= len(s.items) {
+		return 0, 0, false, false
+	}
+	it := s.items[s.pos]
+	s.pos++
+	return it.gap, it.addr, it.write, true
+}
+
+// fakePort answers loads with a fixed latency, optionally holding them
+// pending for manual completion.
+type fakePort struct {
+	hitLat   sim.Tick
+	pendAll  bool
+	pending  []pendingReq
+	loads    int
+	stores   int
+	lastTime sim.Tick
+}
+
+type pendingReq struct {
+	core  int
+	when  sim.Tick
+	token uint64
+}
+
+func (p *fakePort) Load(core int, when sim.Tick, addr uint64, token uint64) (sim.Tick, bool) {
+	p.loads++
+	p.lastTime = when
+	if p.pendAll {
+		p.pending = append(p.pending, pendingReq{core, when, token})
+		return 0, true
+	}
+	return when + p.hitLat, false
+}
+
+func (p *fakePort) Store(core int, when sim.Tick, addr uint64) { p.stores++ }
+
+func mkTrace(n, gap int) *sliceTrace {
+	tr := &sliceTrace{}
+	for i := 0; i < n; i++ {
+		tr.items = append(tr.items, traceItem{gap: gap, addr: uint64(i * 64)})
+	}
+	return tr
+}
+
+func TestPureComputeIPC(t *testing.T) {
+	// One access after 4000 instructions, served instantly: IPC ~= width.
+	tr := &sliceTrace{items: []traceItem{{gap: 4000, addr: 0}}}
+	port := &fakePort{hitLat: 0}
+	c, err := New(0, DefaultConfig(), tr, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step()
+	done, ft := c.Finished()
+	if !done {
+		t.Fatal("core did not finish")
+	}
+	wantCycles := float64(4001) / 4
+	gotCycles := float64(ft) / float64(sim.CPUCycle)
+	if gotCycles < wantCycles || gotCycles > wantCycles*1.1 {
+		t.Errorf("finish after %.0f cycles, want ~%.0f", gotCycles, wantCycles)
+	}
+	if ipc := c.IPC(); ipc < 3.5 || ipc > 4.01 {
+		t.Errorf("IPC = %v, want ~4", ipc)
+	}
+}
+
+func TestEmptyTraceFinishesImmediately(t *testing.T) {
+	c, err := New(0, DefaultConfig(), &sliceTrace{}, &fakePort{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step()
+	if done, _ := c.Finished(); !done {
+		t.Fatal("empty trace must finish at Step")
+	}
+}
+
+func TestLoadLatencyBlocksRetirement(t *testing.T) {
+	tr := mkTrace(1, 0)
+	port := &fakePort{pendAll: true}
+	c, err := New(0, DefaultConfig(), tr, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step()
+	if done, _ := c.Finished(); done {
+		t.Fatal("core finished with an outstanding miss")
+	}
+	if len(port.pending) != 1 {
+		t.Fatalf("pending = %d", len(port.pending))
+	}
+	c.Complete(port.pending[0].token, sim.NS(100))
+	done, ft := c.Finished()
+	if !done {
+		t.Fatal("core did not finish after completion")
+	}
+	if ft < sim.NS(100) {
+		t.Errorf("finish %v before load completion", ft)
+	}
+}
+
+func TestMSHRLimitBlocksDispatch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MSHRs = 4
+	tr := mkTrace(20, 0)
+	port := &fakePort{pendAll: true}
+	c, err := New(0, cfg, tr, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step()
+	if port.loads != 4 {
+		t.Fatalf("issued %d loads with 4 MSHRs", port.loads)
+	}
+	if c.Outstanding() != 4 {
+		t.Fatalf("outstanding = %d", c.Outstanding())
+	}
+	// Completing one unblocks the next dispatch.
+	c.Complete(port.pending[0].token, sim.NS(50))
+	if port.loads != 5 {
+		t.Errorf("loads after one completion = %d, want 5", port.loads)
+	}
+}
+
+func TestROBLimitsMLP(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ROBSize = 8
+	cfg.MSHRs = 64
+	tr := mkTrace(20, 0)
+	port := &fakePort{pendAll: true}
+	c, err := New(0, cfg, tr, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step()
+	if port.loads > 8 {
+		t.Errorf("issued %d loads with an 8-entry ROB", port.loads)
+	}
+}
+
+func TestStoresArePosted(t *testing.T) {
+	tr := &sliceTrace{items: []traceItem{
+		{gap: 0, addr: 0, write: true},
+		{gap: 0, addr: 64, write: true},
+	}}
+	port := &fakePort{}
+	c, err := New(0, DefaultConfig(), tr, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step()
+	if done, _ := c.Finished(); !done {
+		t.Fatal("stores must not block retirement")
+	}
+	if port.stores != 2 {
+		t.Errorf("stores = %d", port.stores)
+	}
+}
+
+func TestRetirementOrderMonotonic(t *testing.T) {
+	// Completions out of order must still retire in order: the second
+	// load completes first, but the core's finish time is bounded by the
+	// first load's completion.
+	tr := mkTrace(2, 0)
+	port := &fakePort{pendAll: true}
+	c, err := New(0, DefaultConfig(), tr, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step()
+	if len(port.pending) != 2 {
+		t.Fatal("expected 2 pending loads")
+	}
+	c.Complete(port.pending[1].token, sim.NS(10))
+	if done, _ := c.Finished(); done {
+		t.Fatal("finished before the older load returned")
+	}
+	c.Complete(port.pending[0].token, sim.NS(500))
+	done, ft := c.Finished()
+	if !done || ft < sim.NS(500) {
+		t.Errorf("done=%v ft=%v, want finish after 500ns", done, ft)
+	}
+}
+
+func TestUnknownCompletionPanics(t *testing.T) {
+	c, err := New(0, DefaultConfig(), mkTrace(1, 0), &fakePort{pendAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown token must panic (simulator invariant)")
+		}
+	}()
+	c.Complete(9999, 1)
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(0, Config{}, mkTrace(1, 0), &fakePort{}); err == nil {
+		t.Error("zero config should fail")
+	}
+}
+
+func TestIPCWithMemoryLatency(t *testing.T) {
+	// 100 dependent-ish loads at 100ns each with gap 0: finish time must
+	// reflect memory latency but MLP overlaps them within the ROB.
+	tr := mkTrace(100, 0)
+	port := &fakePort{hitLat: sim.NS(100)}
+	c, err := New(0, DefaultConfig(), tr, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step()
+	done, ft := c.Finished()
+	if !done {
+		t.Fatal("not finished")
+	}
+	// All 100 fit in the ROB; they overlap, so finish ~ dispatch + 100ns.
+	if ft > sim.NS(200) {
+		t.Errorf("finish %v, want < 200ns with full overlap", ft)
+	}
+}

@@ -1,0 +1,131 @@
+package dram
+
+import "fmt"
+
+// NoRow marks a closed row buffer.
+const NoRow int64 = -1
+
+// DAR is a bank's DRFM Address Register: one row address the memory
+// controller stored with a Pre+Sample, awaiting a DRFM command (§2.5).
+type DAR struct {
+	Valid bool
+	Row   uint32
+}
+
+// Bank models the state of one DDR5 bank: the row buffer, timing horizons
+// derived from previously issued commands, and the DAR.
+type Bank struct {
+	// OpenRow is the row currently in the row buffer, or NoRow.
+	OpenRow int64
+
+	// BusyUntil is the end of any full-bank stall (REF, NRR, DRFM). No
+	// command may be issued to the bank before this time.
+	BusyUntil Tick
+
+	// nextAct is the earliest time an ACT may be issued (tRC after the
+	// previous ACT and tRP after the last precharge).
+	nextAct Tick
+	// nextCol is the earliest time a RD/WR may be issued (tRCD after ACT).
+	nextCol Tick
+	// nextPre is the earliest time a PRE may be issued (tRAS after ACT and
+	// after the last column burst has drained).
+	nextPre Tick
+
+	// DAR is the bank's DRFM Address Register.
+	DAR DAR
+
+	// hasActHistory records that the bank has seen at least one activation,
+	// which is what the optional in-DRAM fallback sampler (paper footnote 1)
+	// needs to have a candidate row to mitigate.
+	hasActHistory bool
+
+	// Stats.
+	Activations uint64 // ACT commands issued to this bank
+	Mitigations uint64 // victim-refreshes performed for rows of this bank
+}
+
+// EarliestActivate reports the earliest time an ACT is legal, assuming the
+// bank is (or will be) precharged. It does not check OpenRow; callers must
+// precharge first if a row is open.
+func (b *Bank) EarliestActivate() Tick { return maxTick(b.BusyUntil, b.nextAct) }
+
+// EarliestColumn reports the earliest time a RD/WR to the open row is legal.
+func (b *Bank) EarliestColumn() Tick { return maxTick(b.BusyUntil, b.nextCol) }
+
+// EarliestPrecharge reports the earliest time a PRE is legal.
+func (b *Bank) EarliestPrecharge() Tick { return maxTick(b.BusyUntil, b.nextPre) }
+
+// Idle reports whether the bank is precharged and past any stall at time now.
+func (b *Bank) Idle(now Tick) bool { return b.OpenRow == NoRow && now >= b.BusyUntil }
+
+func maxTick(a, b Tick) Tick {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// activate opens row at time now. The device wrapper validates legality.
+func (b *Bank) activate(now Tick, row uint32, t Timings) error {
+	if b.OpenRow != NoRow {
+		return fmt.Errorf("dram: ACT to bank with open row %d", b.OpenRow)
+	}
+	if now < b.EarliestActivate() {
+		return fmt.Errorf("dram: ACT at %v before earliest-legal %v", now, b.EarliestActivate())
+	}
+	b.OpenRow = int64(row)
+	b.nextAct = now + t.TRC
+	b.nextCol = now + t.TRCD
+	b.nextPre = now + t.TRAS
+	b.hasActHistory = true
+	b.Activations++
+	return nil
+}
+
+// column performs a RD/WR burst issued at now; lastData is when the final
+// beat leaves the bus. Precharge must wait for the burst to drain.
+func (b *Bank) column(now Tick, t Timings) (lastData Tick, err error) {
+	if b.OpenRow == NoRow {
+		return 0, fmt.Errorf("dram: column access to closed bank")
+	}
+	if now < b.EarliestColumn() {
+		return 0, fmt.Errorf("dram: column at %v before earliest-legal %v", now, b.EarliestColumn())
+	}
+	lastData = now + t.TCL + t.TBUS
+	if lastData > b.nextPre {
+		b.nextPre = lastData
+	}
+	return lastData, nil
+}
+
+// precharge closes the row at now; if sample is set the closing row address
+// is written into the DAR (Pre+Sample). Pre+Sample of an already-valid DAR
+// overwrites it (the MC avoids this in every scheme by flushing with DRFM
+// first; the device permits it, as the real device would).
+func (b *Bank) precharge(now Tick, sample bool, t Timings) error {
+	if b.OpenRow == NoRow {
+		return fmt.Errorf("dram: PRE to closed bank")
+	}
+	if now < b.EarliestPrecharge() {
+		return fmt.Errorf("dram: PRE at %v before earliest-legal %v", now, b.EarliestPrecharge())
+	}
+	if sample {
+		b.DAR = DAR{Valid: true, Row: uint32(b.OpenRow)}
+	}
+	b.OpenRow = NoRow
+	end := now + t.TRP
+	if end > b.nextAct {
+		b.nextAct = end
+	}
+	return nil
+}
+
+// stall blocks the bank until end (REF/NRR/DRFM occupancy).
+func (b *Bank) stall(end Tick) {
+	if end > b.BusyUntil {
+		b.BusyUntil = end
+	}
+	if end > b.nextAct {
+		b.nextAct = end
+	}
+}

@@ -1,0 +1,291 @@
+package dram
+
+import (
+	"fmt"
+)
+
+// BanksPerGroup is the DDR5 bank-group width: 32 banks = 8 groups x 4.
+const BanksPerGroup = 4
+
+// NumGroups is the number of bankgroups in a sub-channel.
+const NumGroups = 8
+
+// Mitigation records one victim-refresh performed by the device, reported to
+// the controller so trackers and the security auditor can observe it.
+type Mitigation struct {
+	Bank int
+	Row  uint32
+}
+
+// SubChannel models one DDR5 sub-channel: 32 banks, a shared 32-bit data
+// bus, and the DRFM machinery. All times are absolute simulation ticks.
+type SubChannel struct {
+	Timings Timings
+	Banks   []Bank
+
+	// InDRAMFallback enables the optional behaviour of the paper's
+	// footnote 1: a DRFM arriving at a bank with an invalid DAR mitigates a
+	// row chosen by the device's own (opaque) tracker — modelled here as
+	// the bank's most recently activated row. The MC cannot observe these
+	// mitigations, so they are excluded from RLP accounting; the security
+	// analysis treats them as absent, exactly as the paper does.
+	InDRAMFallback bool
+
+	// busFreeAt is when the shared data bus next becomes free.
+	busFreeAt Tick
+
+	// Stats.
+	Reads, Writes   uint64
+	Refreshes       uint64
+	NRRs            uint64
+	DRFMsbs         uint64
+	DRFMabs         uint64
+	RLPSum          uint64 // rows mitigated, summed over DRFM commands
+	BusBusy         Tick   // accumulated data-bus occupancy
+	MitigationCount uint64
+	// FallbackMitigations counts footnote-1 in-DRAM mitigations (invisible
+	// to the MC).
+	FallbackMitigations uint64
+}
+
+// NewSubChannel builds a sub-channel with banks banks (must be a multiple of
+// BanksPerGroup).
+func NewSubChannel(t Timings, banks int) (*SubChannel, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if banks <= 0 || banks%BanksPerGroup != 0 {
+		return nil, fmt.Errorf("dram: bank count %d not a multiple of %d", banks, BanksPerGroup)
+	}
+	s := &SubChannel{Timings: t, Banks: make([]Bank, banks)}
+	for i := range s.Banks {
+		s.Banks[i].OpenRow = NoRow
+	}
+	return s, nil
+}
+
+// Bank returns the bank state for index b (for inspection; mutation is via
+// commands).
+func (s *SubChannel) Bank(b int) *Bank { return &s.Banks[b] }
+
+// --- earliest-legal queries -------------------------------------------------
+
+// EarliestActivate reports when an ACT to bank b would be legal (the bank
+// must already be, or become, precharged by then; an open row makes ACT
+// illegal regardless of time).
+func (s *SubChannel) EarliestActivate(b int) Tick { return s.Banks[b].EarliestActivate() }
+
+// EarliestColumn reports when a RD/WR to bank b's open row would be legal,
+// including data-bus availability.
+func (s *SubChannel) EarliestColumn(b int) Tick {
+	e := s.Banks[b].EarliestColumn()
+	// The data burst starts TCL after the command; the bus must be free then.
+	if busReady := s.busFreeAt - s.Timings.TCL; busReady > e {
+		e = busReady
+	}
+	return e
+}
+
+// EarliestPrecharge reports when a PRE to bank b would be legal.
+func (s *SubChannel) EarliestPrecharge(b int) Tick { return s.Banks[b].EarliestPrecharge() }
+
+// EarliestAllIdle reports the earliest time at which every bank in set (nil =
+// all banks) is precharged and unstalled, assuming no further commands. Banks
+// with open rows make this Forever; the controller must close them first.
+func (s *SubChannel) EarliestAllIdle(set []int) (Tick, bool) {
+	var t Tick
+	idx := set
+	if idx == nil {
+		idx = allBanks(len(s.Banks))
+	}
+	for _, b := range idx {
+		bank := &s.Banks[b]
+		if bank.OpenRow != NoRow {
+			return 0, false
+		}
+		if bank.BusyUntil > t {
+			t = bank.BusyUntil
+		}
+	}
+	return t, true
+}
+
+var allBanksCache [][]int
+
+func allBanks(n int) []int {
+	for _, c := range allBanksCache {
+		if len(c) == n {
+			return c
+		}
+	}
+	c := make([]int, n)
+	for i := range c {
+		c[i] = i
+	}
+	allBanksCache = append(allBanksCache, c)
+	return c
+}
+
+// SameBankSet returns the DRFMsb target set for bank b: the bank with the
+// same index within each of the 8 bankgroups (§2.5).
+func (s *SubChannel) SameBankSet(b int) []int {
+	k := b % BanksPerGroup
+	set := make([]int, 0, len(s.Banks)/BanksPerGroup)
+	for g := 0; g < len(s.Banks)/BanksPerGroup; g++ {
+		set = append(set, g*BanksPerGroup+k)
+	}
+	return set
+}
+
+// --- commands ----------------------------------------------------------------
+
+// Activate issues ACT(row) to bank b at time now.
+func (s *SubChannel) Activate(now Tick, b int, row uint32) error {
+	return s.Banks[b].activate(now, row, s.Timings)
+}
+
+// Read issues a column read at now; it returns the time the data has fully
+// returned (last beat on the bus).
+func (s *SubChannel) Read(now Tick, b int) (done Tick, err error) {
+	done, err = s.column(now, b)
+	if err == nil {
+		s.Reads++
+	}
+	return done, err
+}
+
+// Write issues a column write at now; it returns the time the bank/bus are
+// done with the burst.
+func (s *SubChannel) Write(now Tick, b int) (done Tick, err error) {
+	done, err = s.column(now, b)
+	if err == nil {
+		s.Writes++
+	}
+	return done, err
+}
+
+func (s *SubChannel) column(now Tick, b int) (Tick, error) {
+	if start := s.busFreeAt - s.Timings.TCL; now < start {
+		return 0, fmt.Errorf("dram: column at %v would overlap busy data bus (free at %v)", now, s.busFreeAt)
+	}
+	done, err := s.Banks[b].column(now, s.Timings)
+	if err != nil {
+		return 0, err
+	}
+	s.busFreeAt = done
+	s.BusBusy += s.Timings.TBUS
+	return done, nil
+}
+
+// Precharge issues PRE (sample=false) or Pre+Sample (sample=true) to bank b.
+func (s *SubChannel) Precharge(now Tick, b int, sample bool) error {
+	return s.Banks[b].precharge(now, sample, s.Timings)
+}
+
+// Refresh issues an all-bank REF at now. Every bank must be precharged and
+// unstalled. All banks are blocked for tRFC.
+func (s *SubChannel) Refresh(now Tick) error {
+	ready, ok := s.EarliestAllIdle(nil)
+	if !ok {
+		return fmt.Errorf("dram: REF with open row")
+	}
+	if now < ready {
+		return fmt.Errorf("dram: REF at %v before banks idle at %v", now, ready)
+	}
+	end := now + s.Timings.TRFC
+	for i := range s.Banks {
+		s.Banks[i].stall(end)
+	}
+	s.Refreshes++
+	return nil
+}
+
+// NRR issues the hypothetical Nearby-Row-Refresh for (bank, row): the single
+// bank is blocked for tNRR while the device refreshes the row's victims.
+// The bank must be precharged and unstalled.
+func (s *SubChannel) NRR(now Tick, b int, row uint32) ([]Mitigation, error) {
+	bank := &s.Banks[b]
+	if !bank.Idle(now) {
+		return nil, fmt.Errorf("dram: NRR to non-idle bank %d at %v", b, now)
+	}
+	bank.stall(now + s.Timings.TNRR)
+	bank.Mitigations++
+	s.NRRs++
+	s.MitigationCount++
+	return []Mitigation{{Bank: b, Row: row}}, nil
+}
+
+// DRFMsb issues a same-bank DRFM targeting the bank-position of b: the same
+// bank in all 8 bankgroups stalls for tDRFMsb; each stalled bank with a
+// valid DAR gets its DAR row mitigated and the DAR invalidated.
+func (s *SubChannel) DRFMsb(now Tick, b int) ([]Mitigation, error) {
+	return s.drfm(now, s.SameBankSet(b), s.Timings.TDRFMsb, &s.DRFMsbs)
+}
+
+// DRFMab issues an all-bank DRFM: all 32 banks stall for tDRFMab; every
+// valid DAR is mitigated and invalidated.
+func (s *SubChannel) DRFMab(now Tick) ([]Mitigation, error) {
+	return s.drfm(now, nil, s.Timings.TDRFMab, &s.DRFMabs)
+}
+
+func (s *SubChannel) drfm(now Tick, set []int, dur Tick, counter *uint64) ([]Mitigation, error) {
+	idx := set
+	if idx == nil {
+		idx = allBanks(len(s.Banks))
+	}
+	ready, ok := s.EarliestAllIdle(idx)
+	if !ok {
+		return nil, fmt.Errorf("dram: DRFM with open row in target set")
+	}
+	if now < ready {
+		return nil, fmt.Errorf("dram: DRFM at %v before banks idle at %v", now, ready)
+	}
+	end := now + dur
+	var mits []Mitigation
+	for _, b := range idx {
+		bank := &s.Banks[b]
+		bank.stall(end)
+		if bank.DAR.Valid {
+			mits = append(mits, Mitigation{Bank: b, Row: bank.DAR.Row})
+			bank.DAR = DAR{}
+			bank.Mitigations++
+		} else if s.InDRAMFallback && bank.hasActHistory {
+			// Footnote 1: the device privately mitigates a row its own
+			// tracker picked. Not reported to the MC, not counted as RLP.
+			bank.Mitigations++
+			s.FallbackMitigations++
+		}
+	}
+	*counter++
+	s.RLPSum += uint64(len(mits))
+	s.MitigationCount += uint64(len(mits))
+	return mits, nil
+}
+
+// ValidDARs reports how many banks in set (nil = all) currently hold a valid
+// DAR — the RLP a DRFM over that set would achieve right now.
+func (s *SubChannel) ValidDARs(set []int) int {
+	idx := set
+	if idx == nil {
+		idx = allBanks(len(s.Banks))
+	}
+	n := 0
+	for _, b := range idx {
+		if s.Banks[b].DAR.Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// BusFreeAt reports when the shared data bus becomes free.
+func (s *SubChannel) BusFreeAt() Tick { return s.busFreeAt }
+
+// AverageRLP reports mitigated rows per DRFM command issued so far.
+func (s *SubChannel) AverageRLP() float64 {
+	n := s.DRFMsbs + s.DRFMabs
+	if n == 0 {
+		return 0
+	}
+	return float64(s.RLPSum) / float64(n)
+}

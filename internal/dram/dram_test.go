@@ -1,0 +1,367 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newDev(t *testing.T) *SubChannel {
+	t.Helper()
+	dev, err := NewSubChannel(DefaultTimings(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func TestTimingsValidate(t *testing.T) {
+	if err := DefaultTimings().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultTimings()
+	bad.TRC = bad.TRAS // tRAS + tRP > tRC
+	if err := bad.Validate(); err == nil {
+		t.Error("expected tRC consistency error")
+	}
+	bad = DefaultTimings()
+	bad.TRFC = bad.TREFI
+	if err := bad.Validate(); err == nil {
+		t.Error("expected tRFC < tREFI error")
+	}
+}
+
+func TestPRACTimings(t *testing.T) {
+	p := PRACTimings()
+	if p.TRP != sim.NS(36) || p.TRC != sim.NS(68) {
+		t.Errorf("PRAC timings tRP=%v tRC=%v, want 36/68 ns", p.TRP, p.TRC)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSubChannelValidation(t *testing.T) {
+	if _, err := NewSubChannel(DefaultTimings(), 30); err == nil {
+		t.Error("expected error for 30 banks (not a multiple of 4)")
+	}
+	dev := newDev(t)
+	for b := range dev.Banks {
+		if dev.Bank(b).OpenRow != NoRow {
+			t.Fatalf("bank %d boots with open row %d", b, dev.Bank(b).OpenRow)
+		}
+	}
+}
+
+func TestActivateReadPrecharge(t *testing.T) {
+	dev := newDev(t)
+	ti := dev.Timings
+	if err := dev.Activate(0, 3, 77); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Bank(3).OpenRow != 77 {
+		t.Errorf("open row = %d, want 77", dev.Bank(3).OpenRow)
+	}
+	// Column access before tRCD is illegal.
+	if _, err := dev.Read(ti.TRCD-1, 3); err == nil {
+		t.Error("read before tRCD should fail")
+	}
+	done, err := dev.Read(ti.TRCD, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ti.TRCD + ti.TCL + ti.TBUS; done != want {
+		t.Errorf("read done = %v, want %v", done, want)
+	}
+	// Precharge before tRAS is illegal.
+	if err := dev.Precharge(ti.TRAS-1, 3, false); err == nil {
+		t.Error("precharge before tRAS should fail")
+	}
+	if err := dev.Precharge(dev.EarliestPrecharge(3), 3, false); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Bank(3).OpenRow != NoRow {
+		t.Error("bank still open after precharge")
+	}
+}
+
+func TestActivateProtocolErrors(t *testing.T) {
+	dev := newDev(t)
+	if err := dev.Activate(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Activate(dev.Timings.TRC, 0, 2); err == nil {
+		t.Error("ACT to open bank should fail")
+	}
+	if _, err := dev.Read(0, 1); err == nil {
+		t.Error("read of closed bank should fail")
+	}
+	if err := dev.Precharge(0, 1, false); err == nil {
+		t.Error("precharge of closed bank should fail")
+	}
+}
+
+func TestTRCEnforced(t *testing.T) {
+	dev := newDev(t)
+	ti := dev.Timings
+	if err := dev.Activate(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Precharge(ti.TRAS, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	// tRAS + tRP == tRC for the default timings: next ACT at tRC exactly.
+	if got := dev.EarliestActivate(0); got != ti.TRC {
+		t.Errorf("earliest re-ACT = %v, want tRC = %v", got, ti.TRC)
+	}
+	if err := dev.Activate(ti.TRC-1, 0, 2); err == nil {
+		t.Error("ACT before tRC should fail")
+	}
+	if err := dev.Activate(ti.TRC, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreSampleSetsDAR(t *testing.T) {
+	dev := newDev(t)
+	if err := dev.Activate(0, 5, 4242); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Precharge(dev.EarliestPrecharge(5), 5, true); err != nil {
+		t.Fatal(err)
+	}
+	if d := dev.Bank(5).DAR; !d.Valid || d.Row != 4242 {
+		t.Errorf("DAR = %+v, want valid row 4242", d)
+	}
+	if dev.ValidDARs(nil) != 1 {
+		t.Errorf("ValidDARs = %d, want 1", dev.ValidDARs(nil))
+	}
+}
+
+func TestSameBankSet(t *testing.T) {
+	dev := newDev(t)
+	set := dev.SameBankSet(9) // bank 9 = group 2, index 1
+	want := []int{1, 5, 9, 13, 17, 21, 25, 29}
+	if len(set) != len(want) {
+		t.Fatalf("set = %v", set)
+	}
+	for i := range want {
+		if set[i] != want[i] {
+			t.Fatalf("set = %v, want %v", set, want)
+		}
+	}
+}
+
+func TestDRFMsb(t *testing.T) {
+	dev := newDev(t)
+	ti := dev.Timings
+	// Sample rows into banks 1 and 5 (same position, different groups) and
+	// bank 2 (different position).
+	for _, b := range []int{1, 5, 2} {
+		if err := dev.Activate(0, b, uint32(100+b)); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.Precharge(dev.EarliestPrecharge(b), b, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := dev.EarliestActivate(1)
+	mits, err := dev.DRFMsb(start, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mits) != 2 {
+		t.Fatalf("DRFMsb mitigated %d rows, want 2 (banks 1 and 5): %v", len(mits), mits)
+	}
+	if dev.Bank(1).DAR.Valid || dev.Bank(5).DAR.Valid {
+		t.Error("mitigated DARs must be invalidated")
+	}
+	if !dev.Bank(2).DAR.Valid {
+		t.Error("bank 2 (outside the set) must keep its DAR")
+	}
+	// All 8 set banks stalled for tDRFMsb.
+	for _, b := range dev.SameBankSet(1) {
+		if got := dev.Bank(b).BusyUntil; got != start+ti.TDRFMsb {
+			t.Errorf("bank %d busy until %v, want %v", b, got, start+ti.TDRFMsb)
+		}
+	}
+	if dev.Bank(0).BusyUntil != 0 {
+		t.Error("bank 0 (outside the set) must not stall")
+	}
+	if got := dev.AverageRLP(); got != 2 {
+		t.Errorf("RLP = %v, want 2", got)
+	}
+}
+
+func TestDRFMab(t *testing.T) {
+	dev := newDev(t)
+	for b := 0; b < 32; b++ {
+		if err := dev.Activate(0, b, uint32(b)); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.Precharge(dev.EarliestPrecharge(b), b, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := dev.EarliestActivate(0)
+	mits, err := dev.DRFMab(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mits) != 32 {
+		t.Fatalf("DRFMab mitigated %d rows, want 32", len(mits))
+	}
+	for b := 0; b < 32; b++ {
+		if got := dev.Bank(b).BusyUntil; got != start+dev.Timings.TDRFMab {
+			t.Fatalf("bank %d busy until %v", b, got)
+		}
+	}
+}
+
+func TestDRFMRequiresIdleBanks(t *testing.T) {
+	dev := newDev(t)
+	if err := dev.Activate(0, 1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.DRFMsb(dev.Timings.TRC, 1); err == nil {
+		t.Error("DRFM with an open row in the set should fail")
+	}
+}
+
+func TestNRR(t *testing.T) {
+	dev := newDev(t)
+	mits, err := dev.NRR(0, 7, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mits) != 1 || mits[0].Row != 1234 || mits[0].Bank != 7 {
+		t.Fatalf("NRR mitigations = %v", mits)
+	}
+	if dev.Bank(7).BusyUntil != dev.Timings.TNRR {
+		t.Errorf("NRR stall = %v, want %v", dev.Bank(7).BusyUntil, dev.Timings.TNRR)
+	}
+	if dev.Bank(6).BusyUntil != 0 {
+		t.Error("NRR must stall only one bank")
+	}
+	if _, err := dev.NRR(dev.Timings.TNRR-1, 7, 1); err == nil {
+		t.Error("NRR to a stalled bank should fail")
+	}
+}
+
+func TestRefresh(t *testing.T) {
+	dev := newDev(t)
+	if err := dev.Refresh(0); err != nil {
+		t.Fatal(err)
+	}
+	for b := range dev.Banks {
+		if dev.Bank(b).BusyUntil != dev.Timings.TRFC {
+			t.Fatalf("bank %d not stalled by REF", b)
+		}
+	}
+	if err := dev.Activate(dev.Timings.TRFC, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Refresh(dev.Timings.TREFI); err == nil {
+		t.Error("REF with an open row should fail")
+	}
+}
+
+func TestExplicitSample(t *testing.T) {
+	dev := newDev(t)
+	end, err := dev.ExplicitSample(0, 4, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := dev.Timings.TRAS + dev.Timings.TRP; end != want {
+		t.Errorf("explicit sample end = %v, want %v", end, want)
+	}
+	if d := dev.Bank(4).DAR; !d.Valid || d.Row != 999 {
+		t.Errorf("DAR = %+v", d)
+	}
+	if dev.Bank(4).Activations != 1 {
+		t.Error("dummy activation must count")
+	}
+}
+
+func TestExplicitSampleAll(t *testing.T) {
+	dev := newDev(t)
+	rows := make([]uint32, 32)
+	for b := range rows {
+		rows[b] = uint32(1000 + b)
+	}
+	rows[3] = SkipRow
+	dur := sim.NS(131)
+	if err := dev.ExplicitSampleAll(0, rows, dur); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 32; b++ {
+		if b == 3 {
+			if dev.Bank(b).DAR.Valid {
+				t.Error("skipped bank must not sample")
+			}
+			continue
+		}
+		if d := dev.Bank(b).DAR; !d.Valid || d.Row != uint32(1000+b) {
+			t.Fatalf("bank %d DAR = %+v", b, d)
+		}
+	}
+	if _, err := dev.DRFMab(dur); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.RLPSum; got != 31 {
+		t.Errorf("RLP sum = %d, want 31", got)
+	}
+	if err := dev.ExplicitSampleAll(0, rows[:4], dur); err == nil {
+		t.Error("wrong row-count should fail")
+	}
+}
+
+func TestStallAll(t *testing.T) {
+	dev := newDev(t)
+	if err := dev.Activate(0, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	dev.StallAll(100, sim.NS(600))
+	for b := range dev.Banks {
+		if dev.Bank(b).BusyUntil != 100+sim.NS(600) {
+			t.Fatalf("bank %d not stalled", b)
+		}
+	}
+	if dev.Bank(0).OpenRow != 5 {
+		t.Error("StallAll must not close rows")
+	}
+}
+
+func TestBusSerializesReads(t *testing.T) {
+	dev := newDev(t)
+	ti := dev.Timings
+	if err := dev.Activate(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Activate(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Read(ti.TRCD, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A second read whose burst would overlap the first must wait.
+	if _, err := dev.Read(ti.TRCD, 1); err == nil {
+		t.Error("overlapping burst should fail")
+	}
+	if e := dev.EarliestColumn(1); e != ti.TRCD+ti.TBUS {
+		t.Errorf("earliest column = %v, want %v", e, ti.TRCD+ti.TBUS)
+	}
+	if _, err := dev.Read(dev.EarliestColumn(1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if dev.BusBusy != 2*ti.TBUS {
+		t.Errorf("bus busy = %v, want %v", dev.BusBusy, 2*ti.TBUS)
+	}
+}
+
+func TestReadLatency(t *testing.T) {
+	ti := DefaultTimings()
+	if got, want := ti.ReadLatency(), ti.TCL+ti.TBUS; got != want {
+		t.Errorf("ReadLatency = %v, want %v", got, want)
+	}
+}

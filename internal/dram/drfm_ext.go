@@ -1,0 +1,65 @@
+package dram
+
+import "fmt"
+
+// SkipRow marks a bank that takes no sample during ExplicitSampleAll (it
+// still stalls with the rest of the sub-channel).
+const SkipRow uint32 = ^uint32(0)
+
+// ExplicitSampleAll models the DREAM-C / ABACuS mitigation-round prologue
+// (§5.4): the MC performs back-to-back dummy ACT + Pre+Sample pairs on every
+// bank to populate all 32 DARs before a DRFMab. The command-bus-limited
+// pipeline blocks the whole sub-channel for dur (the paper's §5.5 round
+// budget of 411 ns implies ~131 ns of sampling ahead of the 280 ns DRFMab).
+//
+// rows[b] is the row sampled into bank b's DAR; len(rows) must equal the
+// bank count. Every bank must be precharged and unstalled at now. Each dummy
+// activation is a real activation (it hammers); callers must account for it.
+func (s *SubChannel) ExplicitSampleAll(now Tick, rows []uint32, dur Tick) error {
+	if len(rows) != len(s.Banks) {
+		return fmt.Errorf("dram: ExplicitSampleAll with %d rows for %d banks", len(rows), len(s.Banks))
+	}
+	ready, ok := s.EarliestAllIdle(nil)
+	if !ok {
+		return fmt.Errorf("dram: ExplicitSampleAll with open row")
+	}
+	if now < ready {
+		return fmt.Errorf("dram: ExplicitSampleAll at %v before banks idle at %v", now, ready)
+	}
+	end := now + dur
+	for b := range s.Banks {
+		bank := &s.Banks[b]
+		bank.stall(end)
+		if rows[b] != SkipRow {
+			bank.DAR = DAR{Valid: true, Row: rows[b]}
+			bank.Activations++
+		}
+	}
+	return nil
+}
+
+// ExplicitSample models a single-bank dummy activation followed by
+// Pre+Sample (MINT's explicit sampling, Figure 6/8): the bank is occupied
+// for tRAS + tRP (one full row cycle) and its DAR is left holding row.
+// The bank must be precharged and unstalled at now.
+func (s *SubChannel) ExplicitSample(now Tick, b int, row uint32) (end Tick, err error) {
+	bank := &s.Banks[b]
+	if !bank.Idle(now) {
+		return 0, fmt.Errorf("dram: ExplicitSample to non-idle bank %d at %v", b, now)
+	}
+	end = now + s.Timings.TRAS + s.Timings.TRP
+	bank.stall(end)
+	bank.DAR = DAR{Valid: true, Row: row}
+	bank.Activations++
+	return end, nil
+}
+
+// StallAll blocks every bank until now+dur. It models whole-channel
+// back-offs such as PRAC's Alert-Back-Off (ABO) recovery. Open rows remain
+// open; only timing horizons move.
+func (s *SubChannel) StallAll(now Tick, dur Tick) {
+	end := now + dur
+	for b := range s.Banks {
+		s.Banks[b].stall(end)
+	}
+}

@@ -1,0 +1,44 @@
+package dram
+
+import "testing"
+
+// TestInDRAMFallback exercises the footnote-1 option: a DRFM at a bank with
+// an invalid DAR mitigates the device's own pick, invisibly to the MC.
+func TestInDRAMFallback(t *testing.T) {
+	dev, err := NewSubChannel(DefaultTimings(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.InDRAMFallback = true
+	// Bank 1 gets a sampled DAR; bank 5 only has activation history.
+	for _, b := range []int{1, 5} {
+		if err := dev.Activate(0, b, uint32(300+b)); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.Precharge(dev.EarliestPrecharge(b), b, b == 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := dev.EarliestActivate(1)
+	mits, err := dev.DRFMsb(start, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the sampled DAR is visible to the MC.
+	if len(mits) != 1 || mits[0].Bank != 1 {
+		t.Fatalf("visible mitigations = %v", mits)
+	}
+	// Bank 5 was mitigated privately.
+	if dev.FallbackMitigations != 1 {
+		t.Errorf("fallback mitigations = %d, want 1 (bank 5)", dev.FallbackMitigations)
+	}
+	// RLP accounting excludes the fallback, as the paper's security
+	// analysis requires.
+	if dev.RLPSum != 1 {
+		t.Errorf("RLP sum = %d, want 1", dev.RLPSum)
+	}
+	// Banks without any activation history never fall back.
+	if dev.FallbackMitigations > 7 {
+		t.Errorf("idle banks must not fall back")
+	}
+}

@@ -1,0 +1,158 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// TestRandomLegalSequences drives the device with randomly chosen commands
+// issued only at their earliest-legal times and checks global invariants:
+// no command is ever rejected, timing horizons are monotone, and DAR/RLP
+// accounting stays consistent.
+func TestRandomLegalSequences(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		dev, err := NewSubChannel(DefaultTimings(), 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := Tick(0)
+		samples := 0
+		var mitigated uint64
+		for step := 0; step < 400; step++ {
+			b := rng.Intn(32)
+			bank := dev.Bank(b)
+			switch rng.Intn(6) {
+			case 0: // activate (close first if needed)
+				if bank.OpenRow != NoRow {
+					tt := sim.MaxTick(now, dev.EarliestPrecharge(b))
+					if err := dev.Precharge(tt, b, false); err != nil {
+						t.Logf("PRE: %v", err)
+						return false
+					}
+					now = tt
+				}
+				tt := sim.MaxTick(now, dev.EarliestActivate(b))
+				if err := dev.Activate(tt, b, rng.Uint32()&0x1ffff); err != nil {
+					t.Logf("ACT: %v", err)
+					return false
+				}
+				now = tt
+			case 1: // column access if open
+				if bank.OpenRow == NoRow {
+					continue
+				}
+				tt := sim.MaxTick(now, dev.EarliestColumn(b))
+				if _, err := dev.Read(tt, b); err != nil {
+					t.Logf("RD: %v", err)
+					return false
+				}
+				now = tt
+			case 2: // precharge with sample if open
+				if bank.OpenRow == NoRow {
+					continue
+				}
+				tt := sim.MaxTick(now, dev.EarliestPrecharge(b))
+				if err := dev.Precharge(tt, b, true); err != nil {
+					t.Logf("PRE+S: %v", err)
+					return false
+				}
+				samples++
+				now = tt
+			case 3: // DRFMsb over b's set, closing open rows first
+				for _, sb := range dev.SameBankSet(b) {
+					if dev.Bank(sb).OpenRow != NoRow {
+						tt := sim.MaxTick(now, dev.EarliestPrecharge(sb))
+						if err := dev.Precharge(tt, sb, false); err != nil {
+							return false
+						}
+					}
+				}
+				tt := now
+				for _, sb := range dev.SameBankSet(b) {
+					if e := dev.EarliestActivate(sb); e > tt {
+						tt = e
+					}
+				}
+				mits, err := dev.DRFMsb(tt, b)
+				if err != nil {
+					t.Logf("DRFMsb: %v", err)
+					return false
+				}
+				mitigated += uint64(len(mits))
+				now = tt
+			case 4: // NRR on an idle bank
+				if bank.OpenRow != NoRow {
+					continue
+				}
+				tt := sim.MaxTick(now, dev.EarliestActivate(b))
+				mits, err := dev.NRR(tt, b, rng.Uint32()&0x1ffff)
+				if err != nil {
+					t.Logf("NRR: %v", err)
+					return false
+				}
+				mitigated += uint64(len(mits))
+				now = tt
+			case 5: // refresh: close everything first
+				for sb := range dev.Banks {
+					if dev.Bank(sb).OpenRow != NoRow {
+						tt := sim.MaxTick(now, dev.EarliestPrecharge(sb))
+						if err := dev.Precharge(tt, sb, false); err != nil {
+							return false
+						}
+					}
+				}
+				tt := now
+				for sb := range dev.Banks {
+					if e := dev.EarliestActivate(sb); e > tt {
+						tt = e
+					}
+				}
+				if err := dev.Refresh(tt); err != nil {
+					t.Logf("REF: %v", err)
+					return false
+				}
+				now = tt
+			}
+		}
+		// Invariants: RLP accounting never exceeds samples; DAR count is
+		// bounded by banks.
+		if dev.RLPSum > uint64(samples) {
+			t.Logf("RLPSum %d > samples %d", dev.RLPSum, samples)
+			return false
+		}
+		if dev.ValidDARs(nil) > 32 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHorizonsMonotone: issuing commands never moves a bank's earliest
+// times backwards.
+func TestHorizonsMonotone(t *testing.T) {
+	dev, err := NewSubChannel(DefaultTimings(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevAct := dev.EarliestActivate(0)
+	for i := 0; i < 50; i++ {
+		tt := dev.EarliestActivate(0)
+		if tt < prevAct {
+			t.Fatalf("EarliestActivate went backwards: %v -> %v", prevAct, tt)
+		}
+		if err := dev.Activate(tt, 0, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+		pre := dev.EarliestPrecharge(0)
+		if err := dev.Precharge(pre, 0, i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+		prevAct = tt
+	}
+}

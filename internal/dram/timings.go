@@ -1,0 +1,95 @@
+// Package dram models a DDR5 sub-channel at the level of detail the DREAM
+// paper's evaluation depends on: per-bank state machines with row-buffer
+// tracking, the JEDEC DRFM interface (per-bank DRFM Address Registers,
+// Pre+Sample, DRFMsb and DRFMab with their 240/280 ns multi-bank stalls), the
+// hypothetical Nearby-Row-Refresh (NRR) command prior MC-side work assumed,
+// and periodic refresh.
+//
+// The device validates protocol legality (activating an open bank, column
+// access to a closed bank, commands during a stall, ...) and returns errors
+// rather than silently mis-simulating; the memory controller asks the device
+// for earliest-legal times and never issues early.
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Timings holds the DDR5 timing parameters (paper Table 2), in ticks.
+type Timings struct {
+	TRCD Tick // ACT to column command (14 ns)
+	TRP  Tick // PRE to ACT (14 ns)
+	TRC  Tick // ACT to ACT, same bank (46 ns)
+	TRAS Tick // ACT to PRE (tRC - tRP = 32 ns)
+	TCL  Tick // column command to first data (14 ns)
+	TBUS Tick // data-bus occupancy of one 64 B transfer (2.667 ns at 6000 MT/s x 32-bit)
+
+	TREFI Tick // refresh interval (3900 ns)
+	TRFC  Tick // refresh duration (410 ns)
+	TREFW Tick // refresh window (32 ms, 8192 REFs)
+
+	TDRFMsb Tick // DRFMsb duration, stalls 8 banks (240 ns)
+	TDRFMab Tick // DRFMab duration, stalls 32 banks (280 ns)
+	TNRR    Tick // NRR duration, stalls 1 bank (assumed = tDRFMsb, per §3.1)
+}
+
+// Tick aliases sim.Tick for brevity inside this package's API.
+type Tick = sim.Tick
+
+// DefaultTimings returns the Table-2 baseline timings.
+func DefaultTimings() Timings {
+	return Timings{
+		TRCD:    sim.NS(14),
+		TRP:     sim.NS(14),
+		TRC:     sim.NS(46),
+		TRAS:    sim.NS(32),
+		TCL:     sim.NS(14),
+		TBUS:    sim.NS(64.0 / 24.0), // 64 B over a 32-bit bus at 6000 MT/s = 8/3 ns = 32 ticks
+		TREFI:   sim.NS(3900),
+		TRFC:    sim.NS(410),
+		TREFW:   32 * 1000 * 1000 * sim.TicksPerNS,
+		TDRFMsb: sim.NS(240),
+		TDRFMab: sim.NS(280),
+		TNRR:    sim.NS(240),
+	}
+}
+
+// PRACTimings returns the baseline timings with PRAC's intrinsic changes
+// (§7.1): the per-row activation counter read-modify-write extends precharge
+// time from 14 ns to 36 ns, which extends tRC from 46 ns to 68 ns.
+func PRACTimings() Timings {
+	t := DefaultTimings()
+	t.TRP = sim.NS(36)
+	t.TRC = sim.NS(68)
+	return t
+}
+
+// Validate performs sanity checks on the timing set.
+func (t Timings) Validate() error {
+	type f struct {
+		name string
+		v    Tick
+	}
+	for _, x := range []f{
+		{"TRCD", t.TRCD}, {"TRP", t.TRP}, {"TRC", t.TRC}, {"TRAS", t.TRAS},
+		{"TCL", t.TCL}, {"TBUS", t.TBUS}, {"TREFI", t.TREFI}, {"TRFC", t.TRFC},
+		{"TREFW", t.TREFW}, {"TDRFMsb", t.TDRFMsb}, {"TDRFMab", t.TDRFMab}, {"TNRR", t.TNRR},
+	} {
+		if x.v <= 0 {
+			return fmt.Errorf("dram: timing %s must be positive, got %d", x.name, x.v)
+		}
+	}
+	if t.TRAS+t.TRP > t.TRC {
+		return fmt.Errorf("dram: tRAS(%d) + tRP(%d) > tRC(%d)", t.TRAS, t.TRP, t.TRC)
+	}
+	if t.TRFC >= t.TREFI {
+		return fmt.Errorf("dram: tRFC(%d) >= tREFI(%d)", t.TRFC, t.TREFI)
+	}
+	return nil
+}
+
+// ReadLatency is the latency from issuing the column-read command to the
+// last data beat on the bus.
+func (t Timings) ReadLatency() Tick { return t.TCL + t.TBUS }

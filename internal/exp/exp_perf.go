@@ -1,0 +1,360 @@
+package exp
+
+import (
+	"fmt"
+
+	dreamcore "repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/tracker"
+	"repro/internal/workload"
+)
+
+// Fig5 reproduces Figure 5: the motivation result that a straightforward
+// DRFM implementation of PARA and MINT (coupled sampling+mitigation) incurs
+// far higher slowdowns than the hypothetical NRR — paper averages at
+// T_RH = 2K: PARA 3.9% (NRR) / 12.7% (DRFMsb) / 49% (DRFMab); MINT 3.9% /
+// 15.9% / 82%.
+func Fig5(o Options) error {
+	schemes := []Scheme{
+		PARAWith(tracker.ModeNRR), PARAWith(tracker.ModeDRFMsb), PARAWith(tracker.ModeDRFMab),
+		MINTWith(tracker.ModeNRR), MINTWith(tracker.ModeDRFMsb), MINTWith(tracker.ModeDRFMab),
+	}
+	wls := o.workloads()
+	slow, _, err := slowdownGrid(o, wls, 2000, 8, schemes)
+	if err != nil {
+		return err
+	}
+	printSlowdownTable(o.out(), "Figure 5: slowdown at T_RH=2K, coupled trackers over NRR/DRFMsb/DRFMab",
+		wls, schemeNames(schemes), slow)
+	return nil
+}
+
+// Table5 reproduces Table 5: average RLP of PARA and MINT with coupled
+// DRFMsb (≈1) versus DREAM-R (3.2 / 7.5).
+func Table5(o Options) error {
+	schemes := []Scheme{
+		PARAWith(tracker.ModeDRFMsb), MINTWith(tracker.ModeDRFMsb),
+		DreamRPARA(true), DreamRMINT(true, false),
+	}
+	wls := o.workloads()
+	_, raw, err := slowdownGrid(o, wls, 2000, 8, schemes)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{Title: "Table 5: average RLP (rows mitigated per DRFM command)",
+		Columns: []string{"design", "avg RLP"}}
+	for _, sc := range schemes {
+		var sum float64
+		n := 0
+		for _, wl := range wls {
+			if r, ok := raw[wl][sc.Name]; ok && r.RLP > 0 {
+				sum += r.RLP
+				n++
+			}
+		}
+		if n > 0 {
+			t.AddRow(sc.Name, fmt.Sprintf("%.2f", sum/float64(n)))
+		} else {
+			t.AddRow(sc.Name, "n/a")
+		}
+	}
+	fmt.Fprintln(o.out(), t.String())
+	return nil
+}
+
+// Fig9 reproduces Figure 9: DREAM-R recovers (PARA) or beats (MINT) the NRR
+// slowdown — paper averages: PARA 3.92/12.7/4.24%, MINT 3.84/15.9/2.1%.
+func Fig9(o Options) error {
+	schemes := []Scheme{
+		PARAWith(tracker.ModeNRR), PARAWith(tracker.ModeDRFMsb), DreamRPARA(true),
+		MINTWith(tracker.ModeNRR), MINTWith(tracker.ModeDRFMsb), DreamRMINT(true, false),
+	}
+	wls := o.workloads()
+	slow, _, err := slowdownGrid(o, wls, 2000, 8, schemes)
+	if err != nil {
+		return err
+	}
+	printSlowdownTable(o.out(), "Figure 9: slowdown at T_RH=2K, NRR vs DRFMsb vs DREAM-R",
+		wls, schemeNames(schemes), slow)
+	return nil
+}
+
+// Fig10 reproduces Figure 10: DREAM-R slowdown versus threshold — paper
+// averages: PARA 16.75/8.4/4.24/2.14% and MINT 8.4/4.23/2.1/1.06% at
+// T_RH = 0.5K/1K/2K/4K.
+func Fig10(o Options) error {
+	wls := o.workloads()
+	t := stats.Table{Title: "Figure 10: average slowdown of DREAM-R vs T_RH",
+		Columns: []string{"T_RH", "para-drfmsb", "para-dreamr", "mint-drfmsb", "mint-dreamr"}}
+	for _, trh := range []int{500, 1000, 2000, 4000} {
+		schemes := []Scheme{
+			PARAWith(tracker.ModeDRFMsb), DreamRPARA(true),
+			MINTWith(tracker.ModeDRFMsb), DreamRMINT(true, false),
+		}
+		slow, _, err := slowdownGrid(o, wls, trh, 8, schemes)
+		if err != nil {
+			return err
+		}
+		avg := averageBy(wls, schemeNames(schemes), slow)
+		t.AddRow(fmt.Sprintf("%d", trh),
+			stats.Pct(avg["para-drfmsb"]), stats.Pct(avg["para-dreamr"]),
+			stats.Pct(avg["mint-drfmsb"]), stats.Pct(avg["mint-dreamr"]))
+	}
+	fmt.Fprintln(o.out(), t.String())
+	return nil
+}
+
+// Fig15Top reproduces Figure 15 (top): DREAM-C grouping functions at
+// T_RH = 500 — paper averages 14.4% (set-associative) vs 2.6% (randomized),
+// with lbm and parest past 70% under set-associative grouping.
+func Fig15Top(o Options) error {
+	schemes := []Scheme{
+		DreamC(dreamcore.GroupSetAssociative, 1, false),
+		DreamC(dreamcore.GroupRandomized, 1, false),
+	}
+	wls := o.workloads()
+	slow, _, err := slowdownGridN(o, wls, 500, 8, schemes, o.counterAccesses())
+	if err != nil {
+		return err
+	}
+	printSlowdownTable(o.out(), "Figure 15 (top): DREAM-C grouping at T_RH=500",
+		wls, schemeNames(schemes), slow)
+	return nil
+}
+
+// Fig15Bot reproduces Figure 15 (bottom): DREAM-C (randomized) across
+// thresholds — paper averages 5.1/2.6/0.8% at 250/500/1000.
+func Fig15Bot(o Options) error {
+	wls := o.workloads()
+	t := stats.Table{Title: "Figure 15 (bottom): DREAM-C (randomized) slowdown vs T_RH",
+		Columns: []string{"T_RH", "average", "worst", "worst workload"}}
+	for _, trh := range []int{250, 500, 1000} {
+		schemes := []Scheme{DreamC(dreamcore.GroupRandomized, 1, false)}
+		slow, _, err := slowdownGridN(o, wls, trh, 8, schemes, o.counterAccesses())
+		if err != nil {
+			return err
+		}
+		name := schemes[0].Name
+		var sum, worst float64
+		worstWL := ""
+		for _, wl := range wls {
+			v := slow[wl][name]
+			sum += v
+			if v > worst {
+				worst, worstWL = v, wl
+			}
+		}
+		t.AddRow(fmt.Sprintf("%d", trh), stats.Pct(sum/float64(len(wls))), stats.Pct(worst), worstWL)
+	}
+	fmt.Fprintln(o.out(), t.String())
+	return nil
+}
+
+// Fig17 reproduces Figure 17: ABACuS vs DREAM-C vs DREAM-C(2x) at
+// T_RH = 125 — paper: 6.7% / 8.2% / (better than ABACuS) with storage
+// 19 / 3 / 6 KB per bank.
+func Fig17(o Options) error {
+	schemes := []Scheme{
+		ABACuS(),
+		DreamC(dreamcore.GroupRandomized, 1, false),
+		DreamC(dreamcore.GroupRandomized, 2, false),
+	}
+	wls := o.workloads()
+	slow, raw, err := slowdownGridN(o, wls, 125, 8, schemes, o.counterAccesses())
+	if err != nil {
+		return err
+	}
+	printSlowdownTable(o.out(), "Figure 17: slowdown at T_RH=125", wls, schemeNames(schemes), slow)
+	t := stats.Table{Title: "Figure 17: storage", Columns: []string{"design", "KB/bank"}}
+	for _, sc := range schemes {
+		var bits int64
+		for _, wl := range wls {
+			bits = raw[wl][sc.Name].StorageBits
+		}
+		t.AddRow(sc.Name, fmt.Sprintf("%.2f", float64(bits)/8/1024/32))
+	}
+	fmt.Fprintln(o.out(), t.String())
+	return nil
+}
+
+// Fig19 reproduces Figure 19: PRAC (MOAT) vs MINT(DREAM-R) vs DREAM-C —
+// paper: MOAT ≈9.7% at every threshold (intrinsic); DREAM-R beats it for
+// T_RH ≥ 500; DREAM-C is ≈0.25x of PRAC at 500.
+func Fig19(o Options) error {
+	wls := o.workloads()
+	t := stats.Table{Title: "Figure 19: average slowdown, PRAC vs DREAM",
+		Columns: []string{"T_RH", "moat(prac)", "mint-dreamr", "dreamc"}}
+	for _, trh := range []int{500, 1000, 2000, 4000} {
+		schemes := []Scheme{MOAT(), DreamRMINT(true, false), DreamC(dreamcore.GroupRandomized, 1, false)}
+		slow, _, err := slowdownGridN(o, wls, trh, 8, schemes, o.counterAccesses())
+		if err != nil {
+			return err
+		}
+		avg := averageBy(wls, schemeNames(schemes), slow)
+		t.AddRow(fmt.Sprintf("%d", trh),
+			stats.Pct(avg["moat"]), stats.Pct(avg["mint-dreamr"]), stats.Pct(avg["dreamc-randomized"]))
+	}
+	fmt.Fprintln(o.out(), t.String())
+	return nil
+}
+
+// Fig22 reproduces Appendix C (Figure 22): DREAM-C under 16 cores, and the
+// DREAM-C(2x) fix that keeps DCT entries per core constant — paper: 2x
+// drops the 16-core slowdown at 500 from 5.5% to 0.2%.
+func Fig22(o Options) error {
+	wls := o.workloads()
+	t := stats.Table{Title: "Figure 22 (Appendix C): DREAM-C with 16 cores",
+		Columns: []string{"T_RH", "dreamc-16core", "dreamc-2x-16core"}}
+	for _, trh := range []int{250, 500, 1000} {
+		schemes := []Scheme{
+			DreamC(dreamcore.GroupRandomized, 1, false),
+			DreamC(dreamcore.GroupRandomized, 2, false),
+		}
+		slow, _, err := slowdownGridN(o, wls, trh, 16, schemes, o.counterAccesses())
+		if err != nil {
+			return err
+		}
+		avg := averageBy(wls, schemeNames(schemes), slow)
+		t.AddRow(fmt.Sprintf("%d", trh),
+			stats.Pct(avg["dreamc-randomized"]), stats.Pct(avg["dreamc-randomized-2x"]))
+	}
+	fmt.Fprintln(o.out(), t.String())
+	return nil
+}
+
+// Fig23 reproduces Appendix D (Figure 23): ten 8-way random SPEC2017
+// mixes — DREAM-R and DREAM-C stay below MOAT for T_RH ≥ 500.
+func Fig23(o Options) error {
+	nmix := 10
+	if o.Quick {
+		nmix = 3
+	}
+	t := stats.Table{Title: "Figure 23 (Appendix D): mixed workloads, average slowdown",
+		Columns: []string{"T_RH", "moat(prac)", "mint-dreamr", "dreamc"}}
+	for _, trh := range []int{500, 1000, 2000} {
+		schemes := []Scheme{MOAT(), DreamRMINT(true, false), DreamC(dreamcore.GroupRandomized, 1, false)}
+		type job struct {
+			mix    int
+			scheme Scheme
+		}
+		var jobs []job
+		for m := 0; m < nmix; m++ {
+			jobs = append(jobs, job{m, Baseline})
+			for _, sc := range schemes {
+				jobs = append(jobs, job{m, sc})
+			}
+		}
+		results, err := Parallel(len(jobs), func(i int) (stats.RunResult, error) {
+			j := jobs[i]
+			traces, _, err := workload.Mix(uint64(j.mix)+1, 8, o.accesses())
+			if err != nil {
+				return stats.RunResult{}, err
+			}
+			return Run(RunConfig{
+				Workload:        fmt.Sprintf("mix%d", j.mix),
+				Cores:           8,
+				AccessesPerCore: o.accesses(),
+				TRH:             trh,
+				Scheme:          j.scheme,
+				Seed:            o.seed(),
+				WindowScale:     o.windowScale(),
+				Traces:          traces,
+			})
+		})
+		if err != nil {
+			return err
+		}
+		base := make(map[int]stats.RunResult)
+		for i, j := range jobs {
+			if j.scheme.Name == "base" {
+				base[j.mix] = results[i]
+			}
+		}
+		avg := make(map[string]float64)
+		for i, j := range jobs {
+			if j.scheme.Name == "base" {
+				continue
+			}
+			// Weighted-speedup slowdown with the unprotected run on the
+			// same traces as the per-core normalisation.
+			sd, err := stats.SlowdownWS(base[j.mix], results[i], base[j.mix].CoreIPC)
+			if err != nil {
+				return err
+			}
+			avg[j.scheme.Name] += sd / float64(nmix)
+		}
+		t.AddRow(fmt.Sprintf("%d", trh),
+			stats.Pct(avg["moat"]), stats.Pct(avg["mint-dreamr"]), stats.Pct(avg["dreamc-randomized"]))
+	}
+	fmt.Fprintln(o.out(), t.String())
+	return nil
+}
+
+// AblationDelay isolates the DREAM-R mechanism itself: coupled DRFMsb
+// versus delayed DRFM (no ATM, revised parameters) versus delayed+ATM.
+func AblationDelay(o Options) error {
+	schemes := []Scheme{
+		MINTWith(tracker.ModeDRFMsb), DreamRMINT(false, false), DreamRMINT(true, false),
+	}
+	wls := o.workloads()
+	slow, raw, err := slowdownGrid(o, wls, 2000, 8, schemes)
+	if err != nil {
+		return err
+	}
+	printSlowdownTable(o.out(), "Ablation: delaying DRFM (MINT, T_RH=2K)", wls, schemeNames(schemes), slow)
+	t := stats.Table{Title: "Ablation: DRFM command counts", Columns: []string{"design", "DRFMs", "RLP"}}
+	for _, sc := range schemes {
+		var drfms uint64
+		var rlp float64
+		n := 0
+		for _, wl := range wls {
+			r := raw[wl][sc.Name]
+			drfms += r.DRFMsbs + r.DRFMabs
+			if r.RLP > 0 {
+				rlp += r.RLP
+				n++
+			}
+		}
+		if n > 0 {
+			rlp /= float64(n)
+		}
+		t.AddRow(sc.Name, fmt.Sprintf("%d", drfms), fmt.Sprintf("%.2f", rlp))
+	}
+	fmt.Fprintln(o.out(), t.String())
+	return nil
+}
+
+// AblationATM contrasts the two ways DREAM-R restores the tolerated
+// threshold (§4.4): revised parameters (more mitigations) versus ATM.
+func AblationATM(o Options) error {
+	schemes := []Scheme{
+		DreamRPARA(false), DreamRPARA(true),
+		DreamRMINT(false, false), DreamRMINT(true, false),
+	}
+	wls := o.workloads()
+	slow, _, err := slowdownGrid(o, wls, 2000, 8, schemes)
+	if err != nil {
+		return err
+	}
+	printSlowdownTable(o.out(), "Ablation: revised parameters vs ATM (T_RH=2K)",
+		wls, schemeNames(schemes), slow)
+	return nil
+}
+
+// AblationGrouping extends Figure 15 with the entry-multiplier axis.
+func AblationGrouping(o Options) error {
+	schemes := []Scheme{
+		DreamC(dreamcore.GroupSetAssociative, 1, false),
+		DreamC(dreamcore.GroupRandomized, 1, false),
+		DreamC(dreamcore.GroupRandomized, 2, false),
+		DreamC(dreamcore.GroupRandomized, 4, false),
+	}
+	wls := o.workloads()
+	slow, _, err := slowdownGridN(o, wls, 500, 8, schemes, o.counterAccesses())
+	if err != nil {
+		return err
+	}
+	printSlowdownTable(o.out(), "Ablation: DCT grouping and sizing (T_RH=500)",
+		wls, schemeNames(schemes), slow)
+	return nil
+}

@@ -1,0 +1,253 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options controls how experiments run.
+type Options struct {
+	// Quick shrinks runs (fewer accesses, workload subset) for benches and
+	// CI; Full reproduces the complete figures.
+	Quick bool
+	Seed  uint64
+	Out   io.Writer
+	// Workloads overrides the workload list.
+	Workloads []string
+}
+
+func (o Options) out() io.Writer { return o.Out }
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 0xd6ea11
+	}
+	return o.Seed
+}
+
+// quickSubset is the representative workload slice used in Quick mode: two
+// SPEC streaming, one SPEC irregular, the two set-associative-grouping
+// pathologies (lbm, parest), one GAP, one STREAM.
+var quickSubset = []string{"bwaves", "lbm", "mcf", "parest", "tc", "triad"}
+
+func (o Options) workloads() []string {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	if o.Quick {
+		return quickSubset
+	}
+	return workload.Names()
+}
+
+// accesses returns the per-core trace length.
+func (o Options) accesses() uint64 {
+	if o.Quick {
+		return 40_000
+	}
+	return 150_000
+}
+
+// counterAccesses returns the longer per-core trace length used by
+// counter-tracker experiments (DREAM-C, ABACuS): their scaled thresholds
+// need enough simulated time to stay clear of small-count noise.
+func (o Options) counterAccesses() uint64 {
+	if o.Quick {
+		return 160_000
+	}
+	return 600_000
+}
+
+// windowScale returns the default simulated fraction of tREFW used to
+// scale counter-tracker thresholds when no base measurement is available
+// (direct Run calls); grid experiments derive it per workload from the
+// measured baseline simulation time instead.
+func (o Options) windowScale() float64 {
+	if o.Quick {
+		return 1.0 / 32
+	}
+	return 1.0 / 16
+}
+
+// scaleFromBase converts a baseline run's simulated time into the
+// WindowScale for scheme runs on the same traces: counter thresholds are
+// budgets per 32 ms refresh window, so a run covering simTime of the window
+// uses simTime/tREFW of each budget (clamped to [1/128, 1]).
+func scaleFromBase(simTimeNS float64) float64 {
+	s := simTimeNS / 32e6
+	if s > 1 {
+		return 1
+	}
+	if s < 1.0/128 {
+		return 1.0 / 128
+	}
+	return s
+}
+
+// Experiment regenerates one paper table or figure.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func(o Options) error
+}
+
+// Registry lists every experiment, in paper order.
+var Registry = []Experiment{
+	{"fig5", "PARA & MINT slowdown with NRR/DRFMsb/DRFMab at T_RH=2K (motivation)", Fig5},
+	{"table1", "Graphene storage vs threshold (analytic)", Table1},
+	{"table3", "Workload characterisation (MPKI, ACTs/row, BW util)", Table3},
+	{"table4", "Revised tracker parameters under DREAM-R (analytic)", Table4},
+	{"table5", "Average RLP: coupled DRFMsb vs DREAM-R", Table5},
+	{"fig9", "PARA & MINT slowdown: NRR vs DRFMsb vs DREAM-R at T_RH=2K", Fig9},
+	{"fig10", "DREAM-R sensitivity to T_RH (0.5K-4K)", Fig10},
+	{"fig11", "Inter-selection distance Monte Carlo: PARA vs MINT", Fig11},
+	{"fig15top", "DREAM-C set-associative vs randomized grouping at T_RH=500", Fig15Top},
+	{"fig15bot", "DREAM-C randomized grouping sensitivity (T_RH 250/500/1000)", Fig15Bot},
+	{"table6", "DREAM-C configurations and storage vs Graphene (analytic)", Table6},
+	{"table7", "DREAM-R tolerated T_RH with/without the DRFM rate limit (analytic)", Table7},
+	{"fig17", "ABACuS vs DREAM-C vs DREAM-C(2x) at T_RH=125", Fig17},
+	{"fig19", "PRAC (MOAT) vs MINT(DREAM-R) vs DREAM-C across T_RH", Fig19},
+	{"fig22", "DREAM-C with 16 cores; DREAM-C(2x) (Appendix C)", Fig22},
+	{"fig23", "Mixed workloads: MOAT vs DREAM-R vs DREAM-C (Appendix D)", Fig23},
+	{"dos", "DREAM-C worst-case DoS throughput analysis (§5.5)", DoS},
+	{"security", "Attack audit: max unmitigated activations per scheme", Security},
+	{"ablation-delay", "Ablation: coupled vs delayed DRFM (the RLP mechanism)", AblationDelay},
+	{"ablation-atm", "Ablation: DREAM-R revised-parameters vs ATM", AblationATM},
+	{"ablation-grouping", "Ablation: DCT grouping functions and entry multipliers", AblationGrouping},
+	{"ablation-pagepolicy", "Ablation: MOP close-after-N page policy", AblationPagePolicy},
+	{"ablation-drfmkind", "Ablation: DREAM-R over DRFMsb vs DRFMab", AblationDRFMKind},
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, error) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (see Registry)", id)
+}
+
+// slowdownGrid runs base plus each scheme for each workload with the
+// default per-core trace length and returns slowdowns[workload][scheme].
+func slowdownGrid(o Options, wls []string, trh int, cores int, schemes []Scheme) (map[string]map[string]float64, map[string]map[string]stats.RunResult, error) {
+	return slowdownGridN(o, wls, trh, cores, schemes, o.accesses())
+}
+
+// slowdownGridN is slowdownGrid with an explicit per-core trace length.
+// Baselines run first so each workload's counter-threshold WindowScale can
+// be derived from its measured simulation time.
+func slowdownGridN(o Options, wls []string, trh int, cores int, schemes []Scheme, accesses uint64) (map[string]map[string]float64, map[string]map[string]stats.RunResult, error) {
+	base := make(map[string]stats.RunResult)
+	baseResults, err := Parallel(len(wls), func(i int) (stats.RunResult, error) {
+		return Run(RunConfig{
+			Workload:        wls[i],
+			Cores:           cores,
+			AccessesPerCore: accesses,
+			TRH:             trh,
+			Scheme:          Baseline,
+			Seed:            o.seed(),
+		})
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, wl := range wls {
+		base[wl] = baseResults[i]
+	}
+
+	type job struct {
+		wl     string
+		scheme Scheme
+	}
+	var jobs []job
+	for _, wl := range wls {
+		for _, sc := range schemes {
+			jobs = append(jobs, job{wl, sc})
+		}
+	}
+	results, err := Parallel(len(jobs), func(i int) (stats.RunResult, error) {
+		j := jobs[i]
+		return Run(RunConfig{
+			Workload:        j.wl,
+			Cores:           cores,
+			AccessesPerCore: accesses,
+			TRH:             trh,
+			Scheme:          j.scheme,
+			Seed:            o.seed(),
+			WindowScale:     scaleFromBase(base[j.wl].SimTimeNS),
+		})
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	slow := make(map[string]map[string]float64)
+	raw := make(map[string]map[string]stats.RunResult)
+	for _, wl := range wls {
+		raw[wl] = map[string]stats.RunResult{"base": base[wl]}
+		slow[wl] = make(map[string]float64)
+	}
+	for i, j := range jobs {
+		raw[j.wl][j.scheme.Name] = results[i]
+		slow[j.wl][j.scheme.Name] = stats.Slowdown(base[j.wl], results[i])
+	}
+	return slow, raw, nil
+}
+
+// printSlowdownTable renders a per-workload slowdown table plus the average
+// row, with scheme columns in the given order.
+func printSlowdownTable(w io.Writer, title string, wls []string, schemeNames []string, slow map[string]map[string]float64) {
+	t := stats.Table{Title: title, Columns: append([]string{"workload"}, schemeNames...)}
+	avg := make(map[string]float64)
+	for _, wl := range wls {
+		row := []string{wl}
+		for _, s := range schemeNames {
+			v := slow[wl][s]
+			avg[s] += v
+			row = append(row, stats.Pct(v))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"AVERAGE"}
+	for _, s := range schemeNames {
+		row = append(row, stats.Pct(avg[s]/float64(len(wls))))
+	}
+	t.AddRow(row...)
+	fmt.Fprintln(w, t.String())
+}
+
+// schemeNames extracts names preserving order.
+func schemeNames(schemes []Scheme) []string {
+	out := make([]string, len(schemes))
+	for i, s := range schemes {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// averageBy computes per-scheme averages over workloads.
+func averageBy(wls []string, names []string, slow map[string]map[string]float64) map[string]float64 {
+	avg := make(map[string]float64)
+	for _, wl := range wls {
+		for _, s := range names {
+			avg[s] += slow[wl][s]
+		}
+	}
+	for _, s := range names {
+		avg[s] /= float64(len(wls))
+	}
+	return avg
+}
+
+func sortedFloatKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

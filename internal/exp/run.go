@@ -1,0 +1,260 @@
+// Package exp contains the experiment harness: one registered experiment
+// per table and figure of the paper, built on a shared single-run executor.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// Env carries everything a scheme builder needs to instantiate a mitigator
+// for one sub-channel.
+type Env struct {
+	TRH         int
+	Banks       int
+	RowsPerBank int
+	// ResetPeriod is the (WindowScale-scaled) number of REFs per tracker
+	// reset window.
+	ResetPeriod uint64
+	// ScaledTTH returns a counter threshold scaled to the simulated
+	// fraction of the refresh window, preserving steady-state mitigation
+	// rates in short runs (DESIGN.md §1).
+	ScaledTTH func(unscaled int) uint32
+	Seed      uint64
+}
+
+// RNG derives a deterministic per-sub-channel generator.
+func (e Env) RNG(sub int) *sim.RNG { return sim.NewRNG(e.Seed ^ uint64(sub+1)*0x517cc1b727220a95) }
+
+// Scheme names a mitigation configuration and knows how to build it.
+type Scheme struct {
+	Name string
+	// Build returns the mitigator for sub-channel sub; nil Build means
+	// unprotected.
+	Build func(env Env, sub int) (memctrl.Mitigator, error)
+	// PRAC switches the DRAM to PRAC timings (tRP 14→36 ns).
+	PRAC bool
+}
+
+// RunConfig describes one simulation.
+type RunConfig struct {
+	Workload        string // Suite workload (rate mode); empty when Traces set
+	Cores           int
+	AccessesPerCore uint64
+	TRH             int
+	Scheme          Scheme
+	Seed            uint64
+	// WindowScale is the fraction of tREFW the run represents; counter
+	// thresholds and reset sweeps scale by it. 1.0 = unscaled.
+	WindowScale float64
+	// Audit enables the security auditor.
+	Audit bool
+	// SmallLLC shrinks the LLC to 256 KB (attack runs: models clflush).
+	SmallLLC bool
+	// Characterize counts per-row demand activations (Table 3).
+	Characterize bool
+	// MOPCap overrides the page-policy close-after-N limit (0 = default 4).
+	MOPCap int
+	// Traces overrides the workload with explicit traces.
+	Traces []cpu.Trace
+	// MaxTime caps simulated time (0 = default 200 ms).
+	MaxTime sim.Tick
+}
+
+// Run executes one configuration and returns its metrics.
+func Run(cfg RunConfig) (stats.RunResult, error) {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 8
+	}
+	if cfg.AccessesPerCore == 0 {
+		cfg.AccessesPerCore = 200_000
+	}
+	if cfg.WindowScale <= 0 {
+		cfg.WindowScale = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x5eed
+	}
+
+	sysCfg := system.DefaultConfig()
+	if cfg.Scheme.PRAC {
+		sysCfg.Timings = dram.PRACTimings()
+	}
+	if cfg.SmallLLC {
+		sysCfg.CacheCfg = cache.Config{SizeBytes: 256 << 10, Ways: 16, LineBytes: 64}
+	}
+	sysCfg.CtrlCfg.EnableAudit = cfg.Audit
+	sysCfg.CtrlCfg.EnableCharacterization = cfg.Characterize
+	if cfg.MOPCap > 0 {
+		sysCfg.CtrlCfg.MOPCap = cfg.MOPCap
+	}
+	if cfg.MaxTime == 0 {
+		cfg.MaxTime = 200 * 1000 * 1000 * sim.TicksPerNS // 200 ms
+	}
+	sysCfg.MaxTime = cfg.MaxTime
+
+	resetPeriod := uint64(float64(8192) * cfg.WindowScale)
+	if resetPeriod < 8 {
+		resetPeriod = 8
+	}
+	env := Env{
+		TRH:         cfg.TRH,
+		Banks:       sysCfg.Geometry.Banks,
+		RowsPerBank: sysCfg.Geometry.Rows,
+		ResetPeriod: resetPeriod,
+		Seed:        cfg.Seed,
+		ScaledTTH: func(unscaled int) uint32 {
+			v := uint32(float64(unscaled) * cfg.WindowScale)
+			if v < 2 {
+				v = 2
+			}
+			return v
+		},
+	}
+	if cfg.Scheme.Build != nil {
+		mits := make([]memctrl.Mitigator, sysCfg.Geometry.SubChannels)
+		for sub := range mits {
+			m, err := cfg.Scheme.Build(env, sub)
+			if err != nil {
+				return stats.RunResult{}, fmt.Errorf("building %s: %w", cfg.Scheme.Name, err)
+			}
+			mits[sub] = m
+		}
+		sysCfg.NewMitigator = func(sub int) memctrl.Mitigator { return mits[sub] }
+	}
+
+	traces := cfg.Traces
+	if traces == nil {
+		var err error
+		traces, err = workload.Rate(cfg.Workload, cfg.Cores, cfg.AccessesPerCore, cfg.Seed)
+		if err != nil {
+			return stats.RunResult{}, err
+		}
+	}
+
+	sys, err := system.New(sysCfg, traces)
+	if err != nil {
+		return stats.RunResult{}, err
+	}
+	if err := sys.Run(); err != nil {
+		return stats.RunResult{}, fmt.Errorf("%s/%s: %w", cfg.Scheme.Name, cfg.Workload, err)
+	}
+	return collect(cfg, sys), nil
+}
+
+func collect(cfg RunConfig, sys *system.System) stats.RunResult {
+	r := stats.RunResult{
+		Scheme:   cfg.Scheme.Name,
+		Workload: cfg.Workload,
+		TRH:      cfg.TRH,
+	}
+	var retired int64
+	for _, c := range sys.Cores() {
+		r.CoreIPC = append(r.CoreIPC, c.IPC())
+		r.CoreRetired = append(r.CoreRetired, c.Retired)
+		retired += c.Retired
+	}
+	fin := sys.FinishTime()
+	r.SimTimeNS = fin.Nanoseconds()
+	var rlpSum, drfms uint64
+	var busBusy sim.Tick
+	for _, ctrl := range sys.Controllers() {
+		dev := ctrl.Device()
+		r.Activations += ctrl.Activations
+		r.RowHits += ctrl.RowHits
+		r.Reads += dev.Reads
+		r.Writes += dev.Writes
+		r.Refreshes += dev.Refreshes
+		r.NRRs += dev.NRRs
+		r.DRFMsbs += dev.DRFMsbs
+		r.DRFMabs += dev.DRFMabs
+		r.Mitigations += dev.MitigationCount
+		rlpSum += dev.RLPSum
+		drfms += dev.DRFMsbs + dev.DRFMabs
+		busBusy += dev.BusBusy
+		r.AvgReadNS += ctrl.AvgReadLatency().Nanoseconds()
+		r.StorageBits += ctrl.Mitigator().StorageBits()
+		if ctrl.Auditor != nil {
+			if ctrl.Auditor.MaxAggr > r.MaxAggressor {
+				r.MaxAggressor = ctrl.Auditor.MaxAggr
+			}
+			if ctrl.Auditor.MaxVictim > r.MaxVictim {
+				r.MaxVictim = ctrl.Auditor.MaxVictim
+			}
+		}
+		for _, n := range ctrl.RowACTs {
+			r.RowsTouched++
+			if n >= 5 {
+				r.Rows5Plus++
+			} else {
+				r.Rows1to4++
+			}
+		}
+	}
+	n := len(sys.Controllers())
+	if n > 0 {
+		r.AvgReadNS /= float64(n)
+		r.StorageBits /= int64(n) // per sub-channel
+	}
+	if drfms > 0 {
+		r.RLP = float64(rlpSum) / float64(drfms)
+	}
+	if fin > 0 {
+		r.BWUtil = float64(busBusy) / float64(fin*sim.Tick(n))
+	}
+	if retired > 0 {
+		r.MPKI = float64(sys.LLC().Misses) / float64(retired) * 1000
+	}
+	return r
+}
+
+// RunPair runs the unprotected baseline and a scheme on identical traces
+// and reports (base, scheme, slowdown).
+func RunPair(cfg RunConfig) (base, scheme stats.RunResult, slowdown float64, err error) {
+	baseCfg := cfg
+	baseCfg.Scheme = Scheme{Name: "base"}
+	base, err = Run(baseCfg)
+	if err != nil {
+		return
+	}
+	scheme, err = Run(cfg)
+	if err != nil {
+		return
+	}
+	slowdown = stats.Slowdown(base, scheme)
+	return
+}
+
+// Parallel runs jobs across CPUs, preserving result order.
+func Parallel[T any](n int, job func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = job(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return results, nil
+}

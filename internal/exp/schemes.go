@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"fmt"
+
+	dreamcore "repro/internal/core"
+	"repro/internal/memctrl"
+	"repro/internal/tracker"
+)
+
+// Baseline is the unprotected configuration.
+var Baseline = Scheme{Name: "base"}
+
+// PARAWith returns coupled PARA over the given mitigation interface
+// (Figure 4 / §2.6).
+func PARAWith(mode tracker.Mode) Scheme {
+	return Scheme{
+		Name: "para-" + lower(mode.String()),
+		Build: func(env Env, sub int) (memctrl.Mitigator, error) {
+			return tracker.NewPARA(tracker.PARAProb(env.TRH), mode, env.RNG(sub))
+		},
+	}
+}
+
+// MINTWith returns coupled MINT over the given mitigation interface
+// (Figure 6 / §2.6).
+func MINTWith(mode tracker.Mode) Scheme {
+	return Scheme{
+		Name: "mint-" + lower(mode.String()),
+		Build: func(env Env, sub int) (memctrl.Mitigator, error) {
+			return tracker.NewMINT(tracker.MINTWindow(env.TRH), env.Banks, mode, env.RNG(sub))
+		},
+	}
+}
+
+// DreamRPARA returns DREAM-R over PARA (Listing 1). atm selects Table 4's
+// ATM configuration (default) versus the revised-probability variant.
+func DreamRPARA(atm bool) Scheme {
+	name := "para-dreamr"
+	if !atm {
+		name += "-noatm"
+	}
+	return Scheme{
+		Name: name,
+		Build: func(env Env, sub int) (memctrl.Mitigator, error) {
+			return dreamcore.NewDreamRPARA(dreamcore.DreamRPARAConfig{
+				TRH:    env.TRH,
+				Banks:  env.Banks,
+				Kind:   dreamcore.DRFMsb,
+				UseATM: atm,
+			}, env.RNG(sub))
+		},
+	}
+}
+
+// DreamRMINT returns DREAM-R over MINT (Listing 2), optionally with the §6
+// RMAQ rate-limit queues.
+func DreamRMINT(atm, rmaq bool) Scheme {
+	name := "mint-dreamr"
+	if !atm {
+		name += "-noatm"
+	}
+	if rmaq {
+		name += "-rmaq"
+	}
+	return Scheme{
+		Name: name,
+		Build: func(env Env, sub int) (memctrl.Mitigator, error) {
+			return dreamcore.NewDreamRMINT(dreamcore.DreamRMINTConfig{
+				TRH:     env.TRH,
+				Banks:   env.Banks,
+				Kind:    dreamcore.DRFMsb,
+				UseATM:  atm,
+				UseRMAQ: rmaq,
+			}, env.RNG(sub))
+		},
+	}
+}
+
+// GrapheneWith returns the Misra–Gries tracker over a mitigation interface.
+func GrapheneWith(mode tracker.Mode) Scheme {
+	return Scheme{
+		Name: "graphene-" + lower(mode.String()),
+		Build: func(env Env, sub int) (memctrl.Mitigator, error) {
+			return tracker.NewGraphene(tracker.GrapheneConfig{
+				TRH:         env.TRH,
+				Banks:       env.Banks,
+				Mode:        mode,
+				ResetPeriod: env.ResetPeriod,
+			})
+		},
+	}
+}
+
+// DreamC returns DREAM-C with the chosen grouping function and an entry
+// multiplier (1 = Table 6, 2 = the "2x storage" variant of Figures 17/22).
+func DreamC(grouping dreamcore.Grouping, entryMult int, rmaq bool) Scheme {
+	name := fmt.Sprintf("dreamc-%s", grouping)
+	if entryMult > 1 {
+		name = fmt.Sprintf("%s-%dx", name, entryMult)
+	}
+	if rmaq {
+		name += "-rmaq"
+	}
+	return Scheme{
+		Name: name,
+		Build: func(env Env, sub int) (memctrl.Mitigator, error) {
+			return dreamcore.NewDreamC(dreamcore.DreamCConfig{
+				TRH:         env.TRH,
+				Banks:       env.Banks,
+				RowsPerBank: env.RowsPerBank,
+				Grouping:    grouping,
+				EntryMult:   entryMult,
+				TTHOverride: env.ScaledTTH(env.TRH / 2),
+				ResetPeriod: env.ResetPeriod,
+				UseRMAQ:     rmaq,
+			}, env.RNG(sub))
+		},
+	}
+}
+
+// ABACuS returns the §5.8 comparison tracker.
+func ABACuS() Scheme {
+	return Scheme{
+		Name: "abacus",
+		Build: func(env Env, sub int) (memctrl.Mitigator, error) {
+			return tracker.NewABACuS(tracker.ABACuSConfig{
+				TRH:         env.TRH,
+				Banks:       env.Banks,
+				Rows:        env.RowsPerBank,
+				ResetPeriod: env.ResetPeriod,
+				TTHOverride: env.ScaledTTH(env.TRH / 2),
+			})
+		},
+	}
+}
+
+// MOAT returns the PRAC-based comparison (§7.1): PRAC timings plus the ABO
+// tracker.
+func MOAT() Scheme {
+	return Scheme{
+		Name: "moat",
+		PRAC: true,
+		Build: func(env Env, sub int) (memctrl.Mitigator, error) {
+			return tracker.NewMOAT(tracker.MOATConfig{
+				TRH:         env.TRH,
+				ResetPeriod: env.ResetPeriod,
+			})
+		},
+	}
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}

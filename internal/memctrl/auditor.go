@@ -1,0 +1,107 @@
+package memctrl
+
+// Auditor is the security oracle of the simulator. It watches every
+// activation (including mitigation-induced dummy activations) and every
+// victim-refresh, and tracks two attacker-success metrics:
+//
+//   - MaxAggressor: the maximum number of activations any single row
+//     accumulated while its victims went unrefreshed (the paper's §2.1
+//     success criterion, aggressor-centric, single-sided count).
+//   - MaxVictim: the maximum combined activations of a row's two immediate
+//     neighbours while that row went unrefreshed (double-sided damage).
+//
+// An attack "wins" against a threshold T_RH if MaxVictim reaches T_RH (or,
+// single-sided, if MaxAggressor reaches 2*T_RH). Refresh sweeps reset the
+// slice of rows each REF covers; mitigation of an aggressor resets the
+// damage of its blast-radius victims.
+type Auditor struct {
+	rows        int
+	refsPerWin  uint64
+	acts        map[uint64]uint64 // (bank,row) -> ACTs since victims last refreshed
+	damage      map[uint64]uint64 // (bank,row) -> neighbour ACTs since row refreshed
+	MaxAggr     uint64
+	MaxVictim   uint64
+	TotalACTs   uint64
+	TotalVRefrs uint64
+}
+
+// NewAuditor builds an auditor for banks of rows rows, with refsPerWindow
+// REF commands per refresh window (8192 for DDR5).
+func NewAuditor(rows int, refsPerWindow uint64) *Auditor {
+	return &Auditor{
+		rows:       rows,
+		refsPerWin: refsPerWindow,
+		acts:       make(map[uint64]uint64),
+		damage:     make(map[uint64]uint64),
+	}
+}
+
+func key(bank int, row uint32) uint64 { return uint64(bank)<<32 | uint64(row) }
+
+// OnActivate records one activation of (bank, row).
+func (a *Auditor) OnActivate(bank int, row uint32) {
+	a.TotalACTs++
+	k := key(bank, row)
+	a.acts[k]++
+	if a.acts[k] > a.MaxAggr {
+		a.MaxAggr = a.acts[k]
+	}
+	for _, v := range [2]int64{int64(row) - 1, int64(row) + 1} {
+		if v < 0 || v >= int64(a.rows) {
+			continue
+		}
+		vk := key(bank, uint32(v))
+		a.damage[vk]++
+		if a.damage[vk] > a.MaxVictim {
+			a.MaxVictim = a.damage[vk]
+		}
+	}
+}
+
+// OnMitigate records a victim-refresh of aggressor (bank, row): its
+// blast-radius victims (distance 1 and 2, per DRFM Bounded Refresh) are
+// refreshed, so their damage clears and the aggressor's unmitigated count
+// resets.
+func (a *Auditor) OnMitigate(bank int, row uint32) {
+	a.TotalVRefrs++
+	delete(a.acts, key(bank, row))
+	for d := int64(-2); d <= 2; d++ {
+		if d == 0 {
+			continue
+		}
+		v := int64(row) + d
+		if v < 0 || v >= int64(a.rows) {
+			continue
+		}
+		delete(a.damage, key(bank, uint32(v)))
+		// A refresh of row v also clears v's own contribution windows: its
+		// neighbours' aggressor counts no longer threaten v, which is what
+		// damage[v]=0 expresses. Aggressor counts of other rows stand.
+	}
+}
+
+// OnRefresh applies the periodic refresh sweep for REF index refIndex: rows
+// whose index ≡ refIndex (mod refsPerWindow) are refreshed in every bank.
+func (a *Auditor) OnRefresh(refIndex uint64) {
+	if a.refsPerWin == 0 {
+		return
+	}
+	slot := refIndex % a.refsPerWin
+	for k := range a.damage {
+		if uint64(uint32(k))%a.refsPerWin == slot {
+			delete(a.damage, k)
+		}
+	}
+	for k := range a.acts {
+		// Refreshing row r cleans r as a victim; as an aggressor its count
+		// matters to neighbours, which are refreshed in adjacent slots. We
+		// conservatively reset an aggressor only when both its neighbours
+		// have been refreshed, approximated by its own slot passing.
+		if uint64(uint32(k))%a.refsPerWin == slot {
+			delete(a.acts, k)
+		}
+	}
+}
+
+// Rows tracked (for tests).
+func (a *Auditor) Tracked() (aggr, victims int) { return len(a.acts), len(a.damage) }

@@ -1,0 +1,560 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+// Request is one DRAM access (an LLC miss or writeback) bound for this
+// controller's sub-channel.
+type Request struct {
+	Arrival Tick
+	Bank    int
+	Row     uint32
+	IsWrite bool
+	Core    int
+	Token   uint64
+	// Notify requests a completion callback (demand loads). Store-miss
+	// fills and writebacks set it false.
+	Notify bool
+}
+
+// Config holds controller policy parameters.
+type Config struct {
+	// MOPCap is the Minimalist-Open-Page close-after-N-column-accesses
+	// limit (4, matching the MOP4 mapping's burst).
+	MOPCap int
+	// WriteHi / WriteLo are the write-drain watermarks.
+	WriteHi, WriteLo int
+	// ChipLatency is added to every load completion (LLC fill + on-chip
+	// traversal).
+	ChipLatency Tick
+	// GangSampleDur is the sub-channel blockage of one 32-bank explicit
+	// sampling burst ahead of a DRFMab (411 ns round - 280 ns DRFMab).
+	GangSampleDur Tick
+	// RefsPerWindow is the number of REF commands per tREFW (8192).
+	RefsPerWindow uint64
+	// EnableAudit attaches the security auditor (per-row maps; costs
+	// performance, used by attack experiments).
+	EnableAudit bool
+	// EnableCharacterization counts demand activations per (bank, row)
+	// without any resets, for the Table-3 workload characterisation.
+	EnableCharacterization bool
+}
+
+// DefaultConfig returns the baseline controller policy.
+func DefaultConfig() Config {
+	return Config{
+		MOPCap:        4,
+		WriteHi:       24,
+		WriteLo:       4,
+		ChipLatency:   sim.NS(16),
+		GangSampleDur: sim.NS(131),
+		RefsPerWindow: 8192,
+	}
+}
+
+// Controller schedules requests onto one DRAM sub-channel with FR-FCFS,
+// open-page + MOP close, periodic refresh, and mitigation hooks.
+type Controller struct {
+	cfg Config
+	dev *dram.SubChannel
+	mit Mitigator
+
+	readQ  []Request
+	writeQ []Request
+
+	draining      bool
+	nextRefresh   Tick
+	refIndex      uint64
+	hits          []int
+	sampleOnClose []bool
+
+	onDone func(core int, token uint64, done Tick)
+
+	// Auditor is the optional security oracle (nil when disabled).
+	Auditor *Auditor
+
+	// RowACTs counts demand activations per (bank<<32|row) when
+	// characterisation is enabled (nil otherwise).
+	RowACTs map[uint64]uint64
+
+	// Stats.
+	Activations   uint64
+	RowHits       uint64
+	ReadsServed   uint64
+	WritesServed  uint64
+	LatencySum    Tick
+	MitStallBank  Tick // bank-ticks spent stalled by mitigation ops
+	RefreshStall  Tick
+	refreshesDone uint64
+}
+
+// New builds a controller over device dev with mitigation policy mit.
+// onDone is invoked for every completed demand load.
+func New(cfg Config, dev *dram.SubChannel, mit Mitigator,
+	onDone func(core int, token uint64, done Tick)) (*Controller, error) {
+	if cfg.MOPCap <= 0 || cfg.WriteHi <= cfg.WriteLo || cfg.RefsPerWindow == 0 {
+		return nil, fmt.Errorf("memctrl: invalid config %+v", cfg)
+	}
+	if mit == nil {
+		mit = None{}
+	}
+	c := &Controller{
+		cfg:           cfg,
+		dev:           dev,
+		mit:           mit,
+		hits:          make([]int, len(dev.Banks)),
+		sampleOnClose: make([]bool, len(dev.Banks)),
+		onDone:        onDone,
+		nextRefresh:   dev.Timings.TREFI,
+	}
+	if cfg.EnableAudit {
+		c.Auditor = NewAuditor(1<<31, cfg.RefsPerWindow)
+	}
+	if cfg.EnableCharacterization {
+		c.RowACTs = make(map[uint64]uint64)
+	}
+	return c, nil
+}
+
+// Device exposes the underlying sub-channel (stats, tests).
+func (c *Controller) Device() *dram.SubChannel { return c.dev }
+
+// Mitigator exposes the attached policy.
+func (c *Controller) Mitigator() Mitigator { return c.mit }
+
+// Enqueue adds a request. The system must recompute the controller's wake
+// time afterwards (NextWake).
+func (c *Controller) Enqueue(r Request) {
+	if r.IsWrite {
+		c.writeQ = append(c.writeQ, r)
+	} else {
+		c.readQ = append(c.readQ, r)
+	}
+}
+
+// QueueLens reports pending reads and writes.
+func (c *Controller) QueueLens() (reads, writes int) { return len(c.readQ), len(c.writeQ) }
+
+// Process services everything serviceable at time now and returns the next
+// time the controller needs to run.
+func (c *Controller) Process(now Tick) (Tick, error) {
+	for {
+		if now >= c.nextRefresh {
+			if err := c.doRefresh(); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		idx, fromWrite, start := c.pick(now)
+		if idx < 0 || start > now {
+			break
+		}
+		var req Request
+		if fromWrite {
+			req = c.writeQ[idx]
+			c.writeQ = append(c.writeQ[:idx], c.writeQ[idx+1:]...)
+		} else {
+			req = c.readQ[idx]
+			c.readQ = append(c.readQ[:idx], c.readQ[idx+1:]...)
+		}
+		if err := c.service(req, start); err != nil {
+			return 0, err
+		}
+	}
+	return c.NextWake(now), nil
+}
+
+// startTime computes the earliest time request r could begin service, and
+// whether it is a row-buffer hit.
+func (c *Controller) startTime(r Request) (Tick, bool) {
+	bank := c.dev.Bank(r.Bank)
+	switch {
+	case bank.OpenRow == int64(r.Row):
+		return sim.MaxTick(r.Arrival, c.dev.EarliestColumn(r.Bank)), true
+	case bank.OpenRow != dram.NoRow:
+		return sim.MaxTick(r.Arrival, c.dev.EarliestPrecharge(r.Bank)), false
+	default:
+		return sim.MaxTick(r.Arrival, c.dev.EarliestActivate(r.Bank)), false
+	}
+}
+
+// wantWrites updates and reports write-drain mode.
+func (c *Controller) wantWrites() bool {
+	if c.draining {
+		if len(c.writeQ) <= c.cfg.WriteLo {
+			c.draining = false
+		}
+	} else if len(c.writeQ) >= c.cfg.WriteHi || (len(c.readQ) == 0 && len(c.writeQ) > 0) {
+		c.draining = true
+	}
+	return c.draining
+}
+
+// pick selects the next request under FR-FCFS: among requests startable by
+// now, row hits first (earliest start), else the oldest request. It returns
+// (-1, false, earliest-future-start) when nothing is startable.
+func (c *Controller) pick(now Tick) (idx int, fromWrite bool, start Tick) {
+	q := c.readQ
+	fromWrite = c.wantWrites()
+	if fromWrite {
+		q = c.writeQ
+	}
+	bestIdx := -1
+	bestStart := sim.Forever
+	bestHit := false
+	minFuture := sim.Forever
+	for i := range q {
+		s, hit := c.startTime(q[i])
+		if s > now {
+			if s < minFuture {
+				minFuture = s
+			}
+			continue
+		}
+		better := false
+		switch {
+		case bestIdx < 0:
+			better = true
+		case hit && !bestHit:
+			better = true
+		case hit == bestHit && s < bestStart:
+			better = true
+		}
+		if better {
+			bestIdx, bestStart, bestHit = i, s, hit
+		}
+	}
+	if bestIdx < 0 {
+		return -1, fromWrite, minFuture
+	}
+	return bestIdx, fromWrite, bestStart
+}
+
+// NextWake reports when the controller next has work.
+func (c *Controller) NextWake(now Tick) Tick {
+	w := c.nextRefresh
+	scan := func(q []Request) {
+		for i := range q {
+			if s, _ := c.startTime(q[i]); s < w {
+				w = s
+			}
+		}
+	}
+	scan(c.readQ)
+	if len(c.writeQ) > 0 && (c.draining || len(c.writeQ) >= c.cfg.WriteHi || len(c.readQ) == 0) {
+		scan(c.writeQ)
+	}
+	if w <= now {
+		w = now + 1
+	}
+	return w
+}
+
+// closeBank precharges bank b no earlier than after, honouring a pending
+// Pre+Sample. It returns the precharge issue time.
+func (c *Controller) closeBank(b int, after Tick) (Tick, error) {
+	bank := c.dev.Bank(b)
+	if bank.OpenRow == dram.NoRow {
+		return after, nil
+	}
+	row := uint32(bank.OpenRow)
+	t := sim.MaxTick(after, c.dev.EarliestPrecharge(b))
+	sample := c.sampleOnClose[b]
+	if err := c.dev.Precharge(t, b, sample); err != nil {
+		return 0, err
+	}
+	c.hits[b] = 0
+	if sample {
+		c.sampleOnClose[b] = false
+		c.mit.OnSampled(t, b, row)
+	}
+	return t, nil
+}
+
+// service executes the full command sequence for one request starting at
+// start (already validated against bank state).
+func (c *Controller) service(r Request, start Tick) error {
+	b := r.Bank
+	bank := c.dev.Bank(b)
+	t := start
+	var dec Decision
+	activated := false
+
+	if bank.OpenRow != dram.NoRow && bank.OpenRow != int64(r.Row) {
+		var err error
+		if t, err = c.closeBank(b, t); err != nil {
+			return err
+		}
+	}
+	if bank.OpenRow == dram.NoRow {
+		dec = c.mit.OnActivate(t, b, r.Row)
+		if len(dec.PreOps) > 0 {
+			var err error
+			if t, err = c.execOps(dec.PreOps, t); err != nil {
+				return err
+			}
+		}
+		at := sim.MaxTick(t, c.dev.EarliestActivate(b))
+		if err := c.dev.Activate(at, b, r.Row); err != nil {
+			return err
+		}
+		if c.Auditor != nil {
+			c.Auditor.OnActivate(b, r.Row)
+		}
+		if c.RowACTs != nil {
+			c.RowACTs[uint64(b)<<32|uint64(r.Row)]++
+		}
+		c.Activations++
+		c.sampleOnClose[b] = dec.Sample
+		activated = true
+		t = at
+	}
+
+	ct := sim.MaxTick(t, c.dev.EarliestColumn(b))
+	var done Tick
+	var err error
+	if r.IsWrite {
+		done, err = c.dev.Write(ct, b)
+		c.WritesServed++
+	} else {
+		done, err = c.dev.Read(ct, b)
+		c.ReadsServed++
+	}
+	if err != nil {
+		return err
+	}
+	c.hits[b]++
+	if !activated {
+		c.RowHits++
+	}
+	if !r.IsWrite {
+		c.LatencySum += done - r.Arrival
+		if r.Notify && c.onDone != nil {
+			c.onDone(r.Core, r.Token, done+c.cfg.ChipLatency)
+		}
+	}
+
+	if (activated && dec.CloseNow) || c.hits[b] >= c.cfg.MOPCap {
+		if _, err := c.closeBank(b, done); err != nil {
+			return err
+		}
+		if activated && len(dec.PostOps) > 0 {
+			if _, err := c.execOps(dec.PostOps, done); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// doRefresh closes every open row (honouring pending samples) and issues an
+// all-bank REF, then runs any mitigator refresh ops.
+func (c *Controller) doRefresh() error {
+	t := c.nextRefresh
+	for b := range c.dev.Banks {
+		if c.dev.Bank(b).OpenRow != dram.NoRow {
+			pt, err := c.closeBank(b, t)
+			if err != nil {
+				return err
+			}
+			_ = pt
+		}
+	}
+	start := t
+	for b := range c.dev.Banks {
+		if e := c.dev.EarliestActivate(b); e > start {
+			start = e
+		}
+	}
+	if err := c.dev.Refresh(start); err != nil {
+		return err
+	}
+	c.RefreshStall += c.dev.Timings.TRFC
+	c.refreshesDone++
+	refIdx := c.refIndex
+	c.refIndex++
+	c.nextRefresh += c.dev.Timings.TREFI
+	if c.Auditor != nil {
+		c.Auditor.OnRefresh(refIdx)
+	}
+	if ops := c.mit.OnRefresh(start, refIdx); len(ops) > 0 {
+		if _, err := c.execOps(ops, start+c.dev.Timings.TRFC); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execOps performs mitigation operations, each starting no earlier than
+// after, and returns the completion time of the latest one. Ops on disjoint
+// banks overlap (e.g., DREAM-R's end-of-window explicit samples across the
+// 8 set banks run concurrently); ordering between ops that touch the same
+// banks emerges from bank-readiness (a DRFM after an explicit sample of the
+// same bank waits for the sample's stall to clear).
+func (c *Controller) execOps(ops []Op, after Tick) (Tick, error) {
+	end := after
+	for _, op := range ops {
+		t, err := c.execOp(op, after)
+		if err != nil {
+			return 0, err
+		}
+		if t > end {
+			end = t
+		}
+	}
+	return end, nil
+}
+
+func (c *Controller) execOp(op Op, after Tick) (Tick, error) {
+	ti := c.dev.Timings
+	switch op.Kind {
+	case OpNRR:
+		t, err := c.prepBanks([]int{op.Bank}, after)
+		if err != nil {
+			return 0, err
+		}
+		mits, err := c.dev.NRR(t, op.Bank, op.Row)
+		if err != nil {
+			return 0, err
+		}
+		c.reportMits(t+ti.TNRR, mits)
+		c.MitStallBank += ti.TNRR
+		return t + ti.TNRR, nil
+
+	case OpDRFMsb:
+		set := c.dev.SameBankSet(op.Bank)
+		t, err := c.prepBanks(set, after)
+		if err != nil {
+			return 0, err
+		}
+		mits, err := c.dev.DRFMsb(t, op.Bank)
+		if err != nil {
+			return 0, err
+		}
+		c.reportMits(t+ti.TDRFMsb, mits)
+		c.MitStallBank += ti.TDRFMsb * Tick(len(set))
+		return t + ti.TDRFMsb, nil
+
+	case OpDRFMab:
+		t, err := c.prepBanks(nil, after)
+		if err != nil {
+			return 0, err
+		}
+		mits, err := c.dev.DRFMab(t)
+		if err != nil {
+			return 0, err
+		}
+		c.reportMits(t+ti.TDRFMab, mits)
+		c.MitStallBank += ti.TDRFMab * Tick(len(c.dev.Banks))
+		return t + ti.TDRFMab, nil
+
+	case OpExplicitSample:
+		t, err := c.prepBanks([]int{op.Bank}, after)
+		if err != nil {
+			return 0, err
+		}
+		end, err := c.dev.ExplicitSample(t, op.Bank, op.Row)
+		if err != nil {
+			return 0, err
+		}
+		if c.Auditor != nil {
+			c.Auditor.OnActivate(op.Bank, op.Row)
+		}
+		c.mit.OnSampled(end, op.Bank, op.Row)
+		c.MitStallBank += end - t
+		return end, nil
+
+	case OpGangMitigate:
+		t, err := c.prepBanks(nil, after)
+		if err != nil {
+			return 0, err
+		}
+		for _, rows := range op.GangRows {
+			if err := c.dev.ExplicitSampleAll(t, rows, c.cfg.GangSampleDur); err != nil {
+				return 0, err
+			}
+			if c.Auditor != nil {
+				for b, row := range rows {
+					if row != SkipRow {
+						c.Auditor.OnActivate(b, row)
+					}
+				}
+			}
+			t += c.cfg.GangSampleDur
+			mits, err := c.dev.DRFMab(t)
+			if err != nil {
+				return 0, err
+			}
+			t += ti.TDRFMab
+			c.reportMits(t, mits)
+			c.MitStallBank += (c.cfg.GangSampleDur + ti.TDRFMab) * Tick(len(c.dev.Banks))
+		}
+		return t, nil
+
+	case OpStallAll:
+		c.dev.StallAll(after, op.Dur)
+		c.MitStallBank += op.Dur * Tick(len(c.dev.Banks))
+		return after + op.Dur, nil
+
+	default:
+		return 0, fmt.Errorf("memctrl: unknown op kind %d", op.Kind)
+	}
+}
+
+// prepBanks closes every open row in the target set (nil = all banks) and
+// returns the time at which all of them are fully idle (precharge complete
+// and past any stall).
+func (c *Controller) prepBanks(set []int, after Tick) (Tick, error) {
+	idx := set
+	if idx == nil {
+		idx = make([]int, len(c.dev.Banks))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	t := after
+	for _, b := range idx {
+		if c.dev.Bank(b).OpenRow != dram.NoRow {
+			if _, err := c.closeBank(b, after); err != nil {
+				return 0, err
+			}
+		}
+		if e := c.dev.EarliestActivate(b); e > t {
+			t = e
+		}
+	}
+	return t, nil
+}
+
+func (c *Controller) reportMits(now Tick, mits []dram.Mitigation) {
+	if len(mits) == 0 {
+		return
+	}
+	if c.Auditor != nil {
+		for _, m := range mits {
+			c.Auditor.OnMitigate(m.Bank, m.Row)
+		}
+	}
+	c.mit.OnMitigations(now, mits)
+}
+
+// AvgReadLatency reports mean demand-read latency.
+func (c *Controller) AvgReadLatency() Tick {
+	if c.ReadsServed == 0 {
+		return 0
+	}
+	return c.LatencySum / Tick(c.ReadsServed)
+}
+
+// RowHitRate reports column accesses that hit the open row.
+func (c *Controller) RowHitRate() float64 {
+	total := c.ReadsServed + c.WritesServed
+	if total == 0 {
+		return 0
+	}
+	return float64(c.RowHits) / float64(total)
+}

@@ -1,0 +1,80 @@
+package memctrl
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestRefreshCommitsPendingSample: a row flagged for Pre+Sample that is
+// still open when REF becomes due must be closed with the sample committed
+// (DREAM-R relies on natural closures, including the one refresh forces).
+func TestRefreshCommitsPendingSample(t *testing.T) {
+	mit := &recordingMit{}
+	mit.decide = func(now Tick, bank int, row uint32) Decision {
+		return Decision{Sample: true}
+	}
+	c, _ := newCtrl(t, mit)
+	c.Enqueue(Request{Arrival: 0, Bank: 6, Row: 77, Token: 1, Notify: true})
+	// Drive past the first refresh; nothing else touches bank 6, so only
+	// the refresh can close the row.
+	drive(t, c, c.Device().Timings.TREFI*2)
+	if len(mit.sampled) != 1 || mit.sampled[0].Row != 77 {
+		t.Fatalf("sampled = %v, want row 77 committed at the refresh close", mit.sampled)
+	}
+	if d := c.Device().Bank(6).DAR; !d.Valid || d.Row != 77 {
+		t.Errorf("DAR = %+v", d)
+	}
+	if c.Device().Refreshes == 0 {
+		t.Fatal("no refresh happened")
+	}
+}
+
+// TestMitStallAccounting: mitigation stall time accumulates per stalled
+// bank.
+func TestMitStallAccounting(t *testing.T) {
+	mit := &recordingMit{}
+	first := true
+	mit.decide = func(now Tick, bank int, row uint32) Decision {
+		if !first {
+			return Decision{}
+		}
+		first = false
+		return Decision{
+			Sample:   true,
+			CloseNow: true,
+			PostOps:  []Op{{Kind: OpDRFMsb, Bank: bank}},
+		}
+	}
+	c, _ := newCtrl(t, mit)
+	c.Enqueue(Request{Arrival: 0, Bank: 0, Row: 1, Token: 1, Notify: true})
+	drive(t, c, sim.NS(3000))
+	// One DRFMsb stalls 8 banks for 240 ns.
+	if want := c.Device().Timings.TDRFMsb * 8; c.MitStallBank != want {
+		t.Errorf("MitStallBank = %v, want %v", c.MitStallBank, want)
+	}
+}
+
+// TestNextWakeNeverPast ensures the controller always asks to be woken in
+// the future (the event loop relies on this to make progress).
+func TestNextWakeNeverPast(t *testing.T) {
+	c, _ := newCtrl(t, nil)
+	for i := 0; i < 20; i++ {
+		c.Enqueue(Request{Arrival: Tick(i), Bank: i % 4, Row: uint32(i), Token: uint64(i), Notify: true})
+	}
+	now := Tick(0)
+	for iter := 0; iter < 10000; iter++ {
+		next, err := c.Process(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next <= now {
+			t.Fatalf("wake %v not after now %v", next, now)
+		}
+		if r, w := c.QueueLens(); r == 0 && w == 0 {
+			return
+		}
+		now = next
+	}
+	t.Fatal("queues never drained")
+}

@@ -1,0 +1,285 @@
+// Package system assembles the full simulated machine of paper Table 2:
+// eight 4 GHz out-of-order cores sharing an 8 MB LLC, one DDR5 channel with
+// two independent sub-channels of 32 banks each, a memory controller per
+// sub-channel, and a Rowhammer mitigation policy attached to each
+// controller. It drives everything with a deterministic event loop.
+package system
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/addrmap"
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+)
+
+// Tick aliases sim.Tick.
+type Tick = sim.Tick
+
+// Config describes one simulated machine.
+type Config struct {
+	CoreCfg  cpu.Config
+	CacheCfg cache.Config
+	Geometry addrmap.Geometry
+	Timings  dram.Timings
+	CtrlCfg  memctrl.Config
+
+	// Mapper builds the address mapping; nil selects MOP4.
+	Mapper addrmap.Mapper
+
+	// NewMitigator builds the mitigation policy for sub-channel sub; nil
+	// runs unprotected.
+	NewMitigator func(sub int) memctrl.Mitigator
+
+	// ReqLatency is core-to-controller request latency.
+	ReqLatency Tick
+	// LLCHitLatency is the load-to-use latency of an LLC hit.
+	LLCHitLatency Tick
+
+	// MaxTime aborts runaway simulations.
+	MaxTime Tick
+}
+
+// DefaultConfig returns the Table-2 machine.
+func DefaultConfig() Config {
+	return Config{
+		CoreCfg:       cpu.DefaultConfig(),
+		CacheCfg:      cache.DefaultConfig(),
+		Geometry:      addrmap.Default(),
+		Timings:       dram.DefaultTimings(),
+		CtrlCfg:       memctrl.DefaultConfig(),
+		ReqLatency:    sim.NS(10),
+		LLCHitLatency: 40 * sim.CPUCycle,
+		MaxTime:       sim.Forever,
+	}
+}
+
+type completion struct {
+	at    Tick
+	core  int
+	token uint64
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int { return len(h) }
+func (h completionHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].core != h[j].core {
+		return h[i].core < h[j].core
+	}
+	return h[i].token < h[j].token
+}
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// System is the assembled machine.
+type System struct {
+	cfg    Config
+	cores  []*cpu.Core
+	llc    *cache.Cache
+	mapper addrmap.Mapper
+	ctrls  []*memctrl.Controller
+
+	now       Tick
+	wakes     []Tick
+	pending   completionHeap
+	finished  int
+	coreDone  []bool
+	err       error
+	demandRds uint64
+	fillRds   uint64
+	wbWrites  uint64
+}
+
+// New assembles a machine running one trace per core.
+func New(cfg Config, traces []cpu.Trace) (*System, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("system: no traces")
+	}
+	if cfg.MaxTime == 0 {
+		cfg.MaxTime = sim.Forever
+	}
+	mapper := cfg.Mapper
+	if mapper == nil {
+		var err error
+		mapper, err = addrmap.NewMOP4(cfg.Geometry)
+		if err != nil {
+			return nil, err
+		}
+	}
+	llc, err := cache.New(cfg.CacheCfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, llc: llc, mapper: mapper}
+
+	for sub := 0; sub < cfg.Geometry.SubChannels; sub++ {
+		dev, err := dram.NewSubChannel(cfg.Timings, cfg.Geometry.Banks)
+		if err != nil {
+			return nil, err
+		}
+		var mit memctrl.Mitigator
+		if cfg.NewMitigator != nil {
+			mit = cfg.NewMitigator(sub)
+		}
+		ctrl, err := memctrl.New(cfg.CtrlCfg, dev, mit, s.onDone)
+		if err != nil {
+			return nil, err
+		}
+		s.ctrls = append(s.ctrls, ctrl)
+		s.wakes = append(s.wakes, sim.Forever)
+	}
+
+	for i, tr := range traces {
+		core, err := cpu.New(i, cfg.CoreCfg, tr, s)
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, core)
+	}
+	s.coreDone = make([]bool, len(s.cores))
+	return s, nil
+}
+
+// Load implements cpu.Port.
+func (s *System) Load(core int, when Tick, lineAddr uint64, token uint64) (Tick, bool) {
+	res := s.llc.Access(lineAddr, false)
+	if res.Writeback {
+		s.enqueue(res.WritebackAddr, when, true, core, 0, false)
+	}
+	if res.Hit {
+		return when + s.cfg.LLCHitLatency, false
+	}
+	s.demandRds++
+	s.enqueue(lineAddr, when, false, core, token, true)
+	return 0, true
+}
+
+// Store implements cpu.Port. Stores are posted: a miss allocates the line
+// and issues a non-blocking fill read.
+func (s *System) Store(core int, when Tick, lineAddr uint64) {
+	res := s.llc.Access(lineAddr, true)
+	if res.Writeback {
+		s.enqueue(res.WritebackAddr, when, true, core, 0, false)
+	}
+	if !res.Hit {
+		s.fillRds++
+		s.enqueue(lineAddr, when, false, core, 0, false)
+	}
+}
+
+func (s *System) enqueue(lineAddr uint64, when Tick, isWrite bool, core int, token uint64, notify bool) {
+	if isWrite {
+		s.wbWrites++
+	}
+	loc := s.mapper.Map(lineAddr)
+	arrival := sim.MaxTick(when+s.cfg.ReqLatency, s.now)
+	s.ctrls[loc.Sub].Enqueue(memctrl.Request{
+		Arrival: arrival,
+		Bank:    loc.Bank,
+		Row:     loc.Row,
+		IsWrite: isWrite,
+		Core:    core,
+		Token:   token,
+		Notify:  notify,
+	})
+	if arrival < s.wakes[loc.Sub] {
+		s.wakes[loc.Sub] = arrival
+	}
+}
+
+// onDone receives demand-load completions from controllers.
+func (s *System) onDone(core int, token uint64, done Tick) {
+	heap.Push(&s.pending, completion{at: done, core: core, token: token})
+}
+
+// Run executes until every core finishes its trace (or MaxTime).
+func (s *System) Run() error {
+	for _, c := range s.cores {
+		c.Step()
+	}
+	s.refreshDone()
+	for s.finished < len(s.cores) {
+		t := sim.Forever
+		for _, w := range s.wakes {
+			if w < t {
+				t = w
+			}
+		}
+		if len(s.pending) > 0 && s.pending[0].at < t {
+			t = s.pending[0].at
+		}
+		if t >= s.cfg.MaxTime {
+			return fmt.Errorf("system: exceeded MaxTime %v at %v (deadlock?)", s.cfg.MaxTime, s.now)
+		}
+		if t == sim.Forever {
+			return fmt.Errorf("system: no pending events but %d cores unfinished", len(s.cores)-s.finished)
+		}
+		s.now = t
+		// Deliver due completions first so cores can issue new requests
+		// before controllers decide what to do at this instant.
+		for len(s.pending) > 0 && s.pending[0].at <= t {
+			c := heap.Pop(&s.pending).(completion)
+			s.cores[c.core].Complete(c.token, c.at)
+		}
+		for i, ctrl := range s.ctrls {
+			if s.wakes[i] <= t {
+				w, err := ctrl.Process(t)
+				if err != nil {
+					return err
+				}
+				s.wakes[i] = w
+			}
+		}
+		// New arrivals may have lowered a wake below the value Process
+		// returned; enqueue already handled that via s.wakes.
+		s.refreshDone()
+	}
+	return nil
+}
+
+func (s *System) refreshDone() {
+	for i, c := range s.cores {
+		if done, _ := c.Finished(); done && !s.coreDone[i] {
+			s.coreDone[i] = true
+			s.finished++
+		}
+	}
+}
+
+// Cores exposes the core models (stats).
+func (s *System) Cores() []*cpu.Core { return s.cores }
+
+// Controllers exposes the per-sub-channel controllers (stats).
+func (s *System) Controllers() []*memctrl.Controller { return s.ctrls }
+
+// LLC exposes the shared cache (stats).
+func (s *System) LLC() *cache.Cache { return s.llc }
+
+// Now reports the current simulation time.
+func (s *System) Now() Tick { return s.now }
+
+// FinishTime reports the latest core finish time.
+func (s *System) FinishTime() Tick {
+	var t Tick
+	for _, c := range s.cores {
+		if done, ft := c.Finished(); done && ft > t {
+			t = ft
+		}
+	}
+	return t
+}

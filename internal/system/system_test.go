@@ -1,0 +1,161 @@
+package system
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+	"repro/internal/tracker"
+	"repro/internal/workload"
+)
+
+func traces(t *testing.T, wl string, cores int, accesses uint64, seed uint64) []cpu.Trace {
+	t.Helper()
+	tr, err := workload.Rate(wl, cores, accesses, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func run(t *testing.T, cfg Config, tr []cpu.Trace) *System {
+	t.Helper()
+	sys, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestEndToEndBaseline(t *testing.T) {
+	sys := run(t, DefaultConfig(), traces(t, "mcf", 4, 5000, 1))
+	if sys.FinishTime() == 0 {
+		t.Fatal("no finish time")
+	}
+	var retired int64
+	for _, c := range sys.Cores() {
+		done, _ := c.Finished()
+		if !done {
+			t.Fatal("core unfinished")
+		}
+		retired += c.Retired
+		if ipc := c.IPC(); ipc <= 0 || ipc > 4 {
+			t.Errorf("IPC = %v out of range", ipc)
+		}
+	}
+	if retired == 0 {
+		t.Fatal("nothing retired")
+	}
+	var acts uint64
+	for _, ctrl := range sys.Controllers() {
+		acts += ctrl.Activations
+	}
+	if acts == 0 {
+		t.Fatal("no DRAM activity")
+	}
+	if sys.LLC().Misses == 0 {
+		t.Fatal("no LLC misses")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() (sim.Tick, uint64) {
+		cfg := DefaultConfig()
+		cfg.NewMitigator = func(sub int) memctrl.Mitigator {
+			m, err := tracker.NewPARA(0.01, tracker.ModeDRFMsb, sim.NewRNG(uint64(sub+99)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+		sys := run(t, cfg, traces(t, "omnetpp", 4, 5000, 77))
+		var drfms uint64
+		for _, c := range sys.Controllers() {
+			drfms += c.Device().DRFMsbs
+		}
+		return sys.FinishTime(), drfms
+	}
+	t1, d1 := mk()
+	t2, d2 := mk()
+	if t1 != t2 || d1 != d2 {
+		t.Errorf("non-deterministic: (%v,%d) vs (%v,%d)", t1, d1, t2, d2)
+	}
+}
+
+// TestMitigationSlowdownOrdering is the integration-level sanity check of
+// the paper's motivation: NRR <= DRFMsb <= DRFMab slowdown for PARA.
+func TestMitigationSlowdownOrdering(t *testing.T) {
+	ipcFor := func(mode *tracker.Mode) float64 {
+		cfg := DefaultConfig()
+		if mode != nil {
+			cfg.NewMitigator = func(sub int) memctrl.Mitigator {
+				m, err := tracker.NewPARA(0.01, *mode, sim.NewRNG(uint64(sub+1)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m
+			}
+		}
+		sys := run(t, cfg, traces(t, "bc", 8, 20000, 5))
+		var ipc float64
+		for _, c := range sys.Cores() {
+			ipc += c.IPC()
+		}
+		return ipc
+	}
+	base := ipcFor(nil)
+	nrr, sb, ab := tracker.ModeNRR, tracker.ModeDRFMsb, tracker.ModeDRFMab
+	ipcNRR, ipcSB, ipcAB := ipcFor(&nrr), ipcFor(&sb), ipcFor(&ab)
+	if !(base >= ipcNRR*0.999) {
+		t.Errorf("baseline (%v) should beat NRR (%v)", base, ipcNRR)
+	}
+	if !(ipcNRR > ipcSB) {
+		t.Errorf("NRR (%v) should beat DRFMsb (%v)", ipcNRR, ipcSB)
+	}
+	if !(ipcSB > ipcAB) {
+		t.Errorf("DRFMsb (%v) should beat DRFMab (%v)", ipcSB, ipcAB)
+	}
+}
+
+func TestRefreshHappens(t *testing.T) {
+	sys := run(t, DefaultConfig(), traces(t, "blender", 2, 20000, 3))
+	ti := sys.Controllers()[0].Device().Timings
+	expect := uint64(sys.FinishTime() / ti.TREFI)
+	got := sys.Controllers()[0].Device().Refreshes
+	if got+1 < expect {
+		t.Errorf("refreshes = %d, expected ~%d over %v", got, expect, sys.FinishTime())
+	}
+}
+
+func TestWritebacksReachDRAM(t *testing.T) {
+	sys := run(t, DefaultConfig(), traces(t, "copy", 4, 30000, 9))
+	var writes uint64
+	for _, c := range sys.Controllers() {
+		writes += c.Device().Writes
+	}
+	if writes == 0 {
+		t.Error("store-heavy workload produced no DRAM writes")
+	}
+}
+
+func TestNoTracesFails(t *testing.T) {
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Error("no traces should fail")
+	}
+}
+
+func TestMaxTimeAborts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxTime = 100 // absurdly small
+	sys, err := New(cfg, traces(t, "mcf", 1, 1000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err == nil {
+		t.Error("expected MaxTime error")
+	}
+}

@@ -1,0 +1,244 @@
+package tracker
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+)
+
+// MaxACTsPerWindow is the maximum activations one bank can receive in a
+// refresh window after REF overheads: ≈ (tREFW − 8192·tRFC)/tRC ≈ 600 K,
+// the "maximum safe value" the paper quotes in §5.8's footnote. Graphene's
+// entry count is MaxACTsPerWindow / T_TH.
+const MaxACTsPerWindow = 600_000
+
+// GrapheneEntries returns the per-bank Misra–Gries table size for a
+// double-sided threshold: with T_TH = T_RH/2 this reproduces Table 1
+// (1200 entries at T_RH = 1000, 2400 at 500, 4800 at 250).
+func GrapheneEntries(trh int) int { return MaxACTsPerWindow / (trh / 2) }
+
+// Graphene is the counter-based tracker [Park+, MICRO'20]: a per-bank
+// frequent-element (Misra–Gries / space-saving) table that mitigates a row
+// whenever its estimated count reaches T_TH = T_RH/2. The table resets once
+// per refresh window. Graphene needs CAM lookups in hardware; here the CAM
+// is a map plus a count-ordered heap.
+type Graphene struct {
+	entries int
+	tth     uint32
+	mode    Mode
+	banks   []ssTable
+
+	// resetPeriod is how many REFs between full table resets (tREFW
+	// scaled by the experiment's WindowScale).
+	resetPeriod uint64
+
+	// Selections counts threshold crossings (mitigations).
+	Selections uint64
+}
+
+// GrapheneConfig configures a Graphene tracker.
+type GrapheneConfig struct {
+	TRH         int
+	Banks       int
+	Mode        Mode
+	ResetPeriod uint64 // REFs between table resets (8192 unscaled)
+}
+
+// NewGraphene builds the tracker.
+func NewGraphene(cfg GrapheneConfig) (*Graphene, error) {
+	if cfg.TRH < 4 {
+		return nil, fmt.Errorf("tracker: Graphene T_RH %d too small", cfg.TRH)
+	}
+	if cfg.Banks <= 0 {
+		return nil, fmt.Errorf("tracker: Graphene needs banks")
+	}
+	if cfg.ResetPeriod == 0 {
+		cfg.ResetPeriod = 8192
+	}
+	g := &Graphene{
+		entries:     GrapheneEntries(cfg.TRH),
+		tth:         uint32(cfg.TRH / 2),
+		mode:        cfg.Mode,
+		banks:       make([]ssTable, cfg.Banks),
+		resetPeriod: cfg.ResetPeriod,
+	}
+	for i := range g.banks {
+		g.banks[i].init(g.entries)
+	}
+	return g, nil
+}
+
+// Name implements memctrl.Mitigator.
+func (g *Graphene) Name() string {
+	return fmt.Sprintf("Graphene(K=%d,TTH=%d,%s)", g.entries, g.tth, g.mode)
+}
+
+// OnActivate implements memctrl.Mitigator.
+func (g *Graphene) OnActivate(now Tick, bank int, row uint32) memctrl.Decision {
+	count := g.banks[bank].touch(row)
+	if count < g.tth {
+		return memctrl.Decision{}
+	}
+	// Threshold reached: mitigate this row and restart its count.
+	g.banks[bank].reset(row)
+	g.Selections++
+	if g.mode == ModeNRR {
+		return memctrl.Decision{
+			CloseNow: true,
+			PostOps:  []memctrl.Op{{Kind: memctrl.OpNRR, Bank: bank, Row: row}},
+		}
+	}
+	return memctrl.Decision{
+		Sample:   true,
+		CloseNow: true,
+		PostOps:  []memctrl.Op{g.mode.drfmOp(bank)},
+	}
+}
+
+// OnSampled implements memctrl.Mitigator.
+func (g *Graphene) OnSampled(Tick, int, uint32) {}
+
+// OnMitigations implements memctrl.Mitigator.
+func (g *Graphene) OnMitigations(Tick, []dram.Mitigation) {}
+
+// OnRefresh implements memctrl.Mitigator: full table reset once per
+// (scaled) refresh window.
+func (g *Graphene) OnRefresh(now Tick, refIndex uint64) []memctrl.Op {
+	if refIndex > 0 && refIndex%g.resetPeriod == 0 {
+		for i := range g.banks {
+			g.banks[i].clear()
+		}
+	}
+	return nil
+}
+
+// StorageBits implements memctrl.Mitigator: per entry a row address and a
+// counter wide enough for T_TH, per bank, plus the spill counter. This
+// reproduces the Table-1 budgets (≈4.1 KB/bank at T_RH = 1000).
+func (g *Graphene) StorageBits() int64 {
+	ctrBits := bitsFor(uint64(g.tth))
+	perBank := int64(g.entries)*int64(rowAddressBits+ctrBits) + int64(bitsFor(MaxACTsPerWindow))
+	return perBank * int64(len(g.banks))
+}
+
+// Count reports the current estimated count for (bank,row) — test hook.
+func (g *Graphene) Count(bank int, row uint32) uint32 { return g.banks[bank].count(row) }
+
+// Resident reports whether the row currently holds a table entry.
+func (g *Graphene) Resident(bank int, row uint32) bool {
+	_, ok := g.banks[bank].pos[row]
+	return ok
+}
+
+func bitsFor(v uint64) int {
+	n := 1
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// ssTable is a space-saving frequent-element table: a min-heap of (row,
+// count) entries plus a row→heap-index map. The space-saving guarantee —
+// any row activated more than ACTs/K times is resident with an estimate no
+// smaller than its true count — is what makes Graphene secure.
+type ssTable struct {
+	cap  int
+	heap []ssEntry
+	pos  map[uint32]int
+}
+
+type ssEntry struct {
+	row   uint32
+	count uint32
+}
+
+func (t *ssTable) init(capacity int) {
+	t.cap = capacity
+	t.heap = make([]ssEntry, 0, capacity)
+	t.pos = make(map[uint32]int, capacity)
+}
+
+func (t *ssTable) clear() {
+	t.heap = t.heap[:0]
+	for k := range t.pos {
+		delete(t.pos, k)
+	}
+}
+
+// touch records one activation of row and returns its new estimate.
+func (t *ssTable) touch(row uint32) uint32 {
+	if i, ok := t.pos[row]; ok {
+		t.heap[i].count++
+		t.siftDown(i)
+		return t.heap[t.pos[row]].count
+	}
+	if len(t.heap) < t.cap {
+		t.heap = append(t.heap, ssEntry{row: row, count: 1})
+		i := len(t.heap) - 1
+		t.pos[row] = i
+		t.siftUp(i)
+		return 1
+	}
+	// Replace the minimum (space-saving): new count = min + 1.
+	min := &t.heap[0]
+	delete(t.pos, min.row)
+	min.row = row
+	min.count++
+	t.pos[row] = 0
+	t.siftDown(0)
+	return t.heap[t.pos[row]].count
+}
+
+// reset zeroes a row's count after mitigation.
+func (t *ssTable) reset(row uint32) {
+	if i, ok := t.pos[row]; ok {
+		t.heap[i].count = 0
+		t.siftUp(i)
+	}
+}
+
+func (t *ssTable) count(row uint32) uint32 {
+	if i, ok := t.pos[row]; ok {
+		return t.heap[i].count
+	}
+	return 0
+}
+
+func (t *ssTable) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].count <= t.heap[i].count {
+			return
+		}
+		t.swap(i, parent)
+		i = parent
+	}
+}
+
+func (t *ssTable) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && t.heap[l].count < t.heap[small].count {
+			small = l
+		}
+		if r < n && t.heap[r].count < t.heap[small].count {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		t.swap(i, small)
+		i = small
+	}
+}
+
+func (t *ssTable) swap(i, j int) {
+	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
+	t.pos[t.heap[i].row] = i
+	t.pos[t.heap[j].row] = j
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/addrmap"
+	"repro/internal/sim"
+)
+
+// newMixRNG isolates mix selection randomness from trace randomness.
+func newMixRNG(seed uint64) *sim.RNG { return sim.NewRNG(seed ^ 0xabcdef123456789) }
+
+// Attack is a cpu.Trace that replays a row-level access script. Each step
+// names a (sub-channel, bank, row); the column cycles so consecutive visits
+// to a row touch different cache lines. Attack experiments pair this with a
+// tiny LLC, modelling the attacker's cache flushing — every access reaches
+// DRAM, and alternating rows within a bank defeats the row buffer so each
+// access costs an activation.
+type Attack struct {
+	mapper addrmap.Mapper
+	steps  []addrmap.Loc
+	pos    int
+	cols   int
+	colCtr int
+	left   uint64
+	gap    int
+}
+
+// NewAttack builds an attacker trace cycling through steps for total
+// accesses, with gap non-memory instructions between accesses (0 for a
+// maximum-rate attack).
+func NewAttack(m addrmap.Mapper, steps []addrmap.Loc, accesses uint64, gap int) (*Attack, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("workload: attack needs steps")
+	}
+	g := m.Geometry()
+	for _, s := range steps {
+		if s.Sub < 0 || s.Sub >= g.SubChannels || s.Bank < 0 || s.Bank >= g.Banks ||
+			int64(s.Row) >= int64(g.Rows) {
+			return nil, fmt.Errorf("workload: attack step %+v outside geometry", s)
+		}
+	}
+	return &Attack{mapper: m, steps: steps, cols: g.LinesPerRow(), left: accesses, gap: gap}, nil
+}
+
+// Next implements cpu.Trace.
+func (a *Attack) Next() (int, uint64, bool, bool) {
+	if a.left == 0 {
+		return 0, 0, false, false
+	}
+	a.left--
+	loc := a.steps[a.pos]
+	loc.Col = a.colCtr % a.cols
+	a.pos++
+	if a.pos == len(a.steps) {
+		a.pos = 0
+		a.colCtr++
+	}
+	return a.gap, a.mapper.Unmap(loc), false, true
+}
+
+// DoubleSided builds the classic double-sided pattern around victim row v
+// in one bank: alternating activations of v-1 and v+1.
+func DoubleSided(m addrmap.Mapper, sub, bank int, victim uint32, accesses uint64) (*Attack, error) {
+	if victim == 0 {
+		return nil, fmt.Errorf("workload: victim row 0 has no lower neighbour")
+	}
+	steps := []addrmap.Loc{
+		{Sub: sub, Bank: bank, Row: victim - 1},
+		{Sub: sub, Bank: bank, Row: victim + 1},
+	}
+	return NewAttack(m, steps, accesses, 0)
+}
+
+// Circular builds the (ABCD)^N pattern of §6.2: w unique rows activated
+// round-robin in one bank — the most stressful pattern for MINT's windowed
+// selection.
+func Circular(m addrmap.Mapper, sub, bank int, baseRow uint32, w int, accesses uint64) (*Attack, error) {
+	steps := make([]addrmap.Loc, w)
+	for i := range steps {
+		// Space rows two apart so the pattern is simultaneously
+		// double-sided for the rows between them.
+		steps[i] = addrmap.Loc{Sub: sub, Bank: bank, Row: baseRow + uint32(2*i)}
+	}
+	return NewAttack(m, steps, accesses, 0)
+}
+
+// RMAQAbuse builds the §6.2 rate-limit abuse: activate row A w times (so
+// MINT must select it), then 150 more times under the RMAQ shadow, then
+// continue the circular pattern. An interleaved far row forces a row
+// conflict on every step so each access is an activation.
+func RMAQAbuse(m addrmap.Mapper, sub, bank int, rowA uint32, w int, rounds int) (*Attack, error) {
+	far := rowA + 1<<15
+	var steps []addrmap.Loc
+	hammerA := func(times int) {
+		for i := 0; i < times; i++ {
+			steps = append(steps,
+				addrmap.Loc{Sub: sub, Bank: bank, Row: rowA},
+				addrmap.Loc{Sub: sub, Bank: bank, Row: far})
+		}
+	}
+	hammerA(w)
+	hammerA(150)
+	for i := 0; i < w; i++ {
+		steps = append(steps, addrmap.Loc{Sub: sub, Bank: bank, Row: rowA + uint32(2*i+2)})
+	}
+	total := uint64(len(steps) * rounds)
+	return NewAttack(m, steps, total, 0)
+}
+
+// GangDoS builds the §5.5 denial-of-service pattern against DREAM-C: the
+// attacker hammers rows of one gang (one row per bank) so every T_TH-ish
+// activations trigger a full 411 ns mitigation round. gangRows[b] gives the
+// bank-b member row (memctrl.SkipRow entries are skipped).
+func GangDoS(m addrmap.Mapper, sub int, gangRows []uint32, accesses uint64) (*Attack, error) {
+	const skip = ^uint32(0)
+	var steps []addrmap.Loc
+	for b, r := range gangRows {
+		if r == skip {
+			continue
+		}
+		// Alternate with a far row in the same bank to force activations.
+		steps = append(steps,
+			addrmap.Loc{Sub: sub, Bank: b, Row: r},
+			addrmap.Loc{Sub: sub, Bank: b, Row: r ^ 1<<14})
+	}
+	return NewAttack(m, steps, accesses, 0)
+}
+
+// IdleTrace emits nothing (placeholder cores in attack experiments).
+type IdleTrace struct{}
+
+// Next implements cpu.Trace.
+func (IdleTrace) Next() (int, uint64, bool, bool) { return 0, 0, false, false }

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+)
+
+// Suite lists the 22 workloads of paper Table 3 with synthetic-generator
+// parameters calibrated to the published MPKI, bandwidth class, and
+// locality. SPEC2017 workloads mix sequential runs with reuse; GAP graph
+// kernels are dominated by irregular accesses over large footprints with a
+// small hot (hub) region; STREAM kernels are pure streams with a store per
+// iteration.
+var Suite = []Params{
+	// SPEC2017 (12 workloads with MPKI >= 1).
+	{Name: "blender", MPKI: 1.54, WriteFrac: 0.25, SeqFrac: 0.30, SeqLen: 8, FootprintMB: 256, HotFrac: 0.02, HotProb: 0.20},
+	{Name: "bwaves", MPKI: 41.62, WriteFrac: 0.20, SeqFrac: 0.55, SeqLen: 12, FootprintMB: 1024, HotFrac: 0.01, HotProb: 0.10},
+	{Name: "cactuBSSN", MPKI: 3.54, WriteFrac: 0.30, SeqFrac: 0.40, SeqLen: 6, FootprintMB: 512, HotFrac: 0.01, HotProb: 0.15},
+	{Name: "cam4", MPKI: 3.78, WriteFrac: 0.25, SeqFrac: 0.35, SeqLen: 6, FootprintMB: 512, HotFrac: 0.02, HotProb: 0.20},
+	{Name: "fotonik3d", MPKI: 26.71, WriteFrac: 0.25, SeqFrac: 0.50, SeqLen: 10, FootprintMB: 1024, HotFrac: 0.02, HotProb: 0.15},
+	{Name: "lbm", MPKI: 27.67, WriteFrac: 0.40, SeqFrac: 0.60, SeqLen: 10, FootprintMB: 512, HotFrac: 0.005, HotProb: 0.30},
+	{Name: "mcf", MPKI: 22.34, WriteFrac: 0.15, SeqFrac: 0.15, SeqLen: 4, FootprintMB: 2048, HotFrac: 0.02, HotProb: 0.25},
+	{Name: "omnetpp", MPKI: 10.09, WriteFrac: 0.25, SeqFrac: 0.20, SeqLen: 4, FootprintMB: 1024, HotFrac: 0.03, HotProb: 0.25},
+	{Name: "parest", MPKI: 28.88, WriteFrac: 0.20, SeqFrac: 0.45, SeqLen: 8, FootprintMB: 512, HotFrac: 0.003, HotProb: 0.35},
+	{Name: "roms", MPKI: 9.82, WriteFrac: 0.30, SeqFrac: 0.50, SeqLen: 8, FootprintMB: 1024, HotFrac: 0.02, HotProb: 0.10},
+	{Name: "xalancbmk", MPKI: 1.62, WriteFrac: 0.20, SeqFrac: 0.25, SeqLen: 4, FootprintMB: 256, HotFrac: 0.05, HotProb: 0.30},
+	{Name: "xz", MPKI: 6.02, WriteFrac: 0.30, SeqFrac: 0.30, SeqLen: 6, FootprintMB: 512, HotFrac: 0.02, HotProb: 0.20},
+	// GAP graph analytics.
+	{Name: "bc", MPKI: 59.00, WriteFrac: 0.10, SeqFrac: 0.20, SeqLen: 4, FootprintMB: 2048, HotFrac: 0.01, HotProb: 0.20},
+	{Name: "bfs", MPKI: 30.87, WriteFrac: 0.10, SeqFrac: 0.25, SeqLen: 4, FootprintMB: 2048, HotFrac: 0.01, HotProb: 0.20},
+	{Name: "cc", MPKI: 58.55, WriteFrac: 0.10, SeqFrac: 0.15, SeqLen: 4, FootprintMB: 2048, HotFrac: 0.01, HotProb: 0.25},
+	{Name: "pr", MPKI: 57.71, WriteFrac: 0.15, SeqFrac: 0.25, SeqLen: 4, FootprintMB: 2048, HotFrac: 0.01, HotProb: 0.20},
+	{Name: "sssp", MPKI: 27.40, WriteFrac: 0.10, SeqFrac: 0.20, SeqLen: 4, FootprintMB: 2048, HotFrac: 0.01, HotProb: 0.20},
+	{Name: "tc", MPKI: 87.82, WriteFrac: 0.05, SeqFrac: 0.20, SeqLen: 4, FootprintMB: 2048, HotFrac: 0.01, HotProb: 0.25},
+	// STREAM kernels.
+	{Name: "add", MPKI: 62.50, WriteFrac: 0.33, SeqFrac: 0.98, SeqLen: 64, FootprintMB: 2048},
+	{Name: "copy", MPKI: 50.00, WriteFrac: 0.50, SeqFrac: 0.98, SeqLen: 64, FootprintMB: 2048},
+	{Name: "scale", MPKI: 41.67, WriteFrac: 0.50, SeqFrac: 0.98, SeqLen: 64, FootprintMB: 2048},
+	{Name: "triad", MPKI: 53.57, WriteFrac: 0.33, SeqFrac: 0.98, SeqLen: 64, FootprintMB: 2048},
+}
+
+// SPECNames lists the SPEC2017 subset (used for the Appendix-D mixes).
+var SPECNames = []string{
+	"blender", "bwaves", "cactuBSSN", "cam4", "fotonik3d", "lbm",
+	"mcf", "omnetpp", "parest", "roms", "xalancbmk", "xz",
+}
+
+// ByName finds a workload's parameters.
+func ByName(name string) (Params, error) {
+	for _, p := range Suite {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Params{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// Names lists all workload names in suite order.
+func Names() []string {
+	out := make([]string, len(Suite))
+	for i, p := range Suite {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Rate builds cores copies of workload name, each over its own footprint
+// (the paper's rate-mode), each emitting accesses memory accesses.
+func Rate(name string, cores int, accesses uint64, seed uint64) ([]cpu.Trace, error) {
+	p, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	traces := make([]cpu.Trace, cores)
+	for i := range traces {
+		g, err := New(p, accesses, i, seed)
+		if err != nil {
+			return nil, err
+		}
+		traces[i] = g
+	}
+	return traces, nil
+}
+
+// Mix builds one Appendix-D multi-program workload: cores random SPEC2017
+// workloads drawn deterministically from mixSeed.
+func Mix(mixSeed uint64, cores int, accesses uint64) ([]cpu.Trace, []string, error) {
+	rng := newMixRNG(mixSeed)
+	traces := make([]cpu.Trace, cores)
+	names := make([]string, cores)
+	for i := range traces {
+		name := SPECNames[rng.Intn(len(SPECNames))]
+		p, err := ByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		g, err := New(p, accesses, i, mixSeed*1000003)
+		if err != nil {
+			return nil, nil, err
+		}
+		traces[i] = g
+		names[i] = name
+	}
+	return traces, names, nil
+}

@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/addrmap"
+)
+
+func TestSuiteComplete(t *testing.T) {
+	if len(Suite) != 22 {
+		t.Fatalf("suite has %d workloads, want 22 (Table 3)", len(Suite))
+	}
+	seen := map[string]bool{}
+	for _, p := range Suite {
+		if seen[p.Name] {
+			t.Errorf("duplicate workload %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.MPKI <= 0 || p.FootprintMB <= 0 {
+			t.Errorf("%s: invalid parameters %+v", p.Name, p)
+		}
+	}
+	for _, n := range SPECNames {
+		if !seen[n] {
+			t.Errorf("SPEC name %q not in suite", n)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("mcf")
+	if err != nil || p.Name != "mcf" {
+		t.Fatalf("ByName(mcf) = %+v, %v", p, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown workload should fail")
+	}
+	if len(Names()) != len(Suite) {
+		t.Error("Names length mismatch")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := ByName("mcf")
+	a, err := New(p, 1000, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(p, 1000, 0, 42)
+	for i := 0; i < 1000; i++ {
+		g1, a1, w1, ok1 := a.Next()
+		g2, a2, w2, ok2 := b.Next()
+		if g1 != g2 || a1 != a2 || w1 != w2 || ok1 != ok2 {
+			t.Fatalf("generator not deterministic at access %d", i)
+		}
+	}
+	if _, _, _, ok := a.Next(); ok {
+		t.Error("generator must end after the access budget")
+	}
+}
+
+func TestGeneratorCoreSeparation(t *testing.T) {
+	p, _ := ByName("mcf")
+	a, _ := New(p, 100, 0, 42)
+	b, _ := New(p, 100, 1, 42)
+	same := 0
+	for i := 0; i < 100; i++ {
+		_, a1, _, _ := a.Next()
+		_, a2, _, _ := b.Next()
+		if a1 == a2 {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("cores share %d/100 addresses; footprints must be disjoint", same)
+	}
+}
+
+func TestGapCalibration(t *testing.T) {
+	p, _ := ByName("mcf") // MPKI 22.34 -> mean gap ~43.8
+	g, _ := New(p, 50_000, 0, 1)
+	var sum, n float64
+	for {
+		gap, _, _, ok := g.Next()
+		if !ok {
+			break
+		}
+		sum += float64(gap)
+		n++
+	}
+	mean := sum / n
+	want := 1000.0/p.MPKI - 1
+	if mean < want*0.9 || mean > want*1.1 {
+		t.Errorf("mean gap = %.1f, want ~%.1f", mean, want)
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	p, _ := ByName("copy") // 50% stores
+	g, _ := New(p, 50_000, 0, 1)
+	writes := 0
+	for {
+		_, _, w, ok := g.Next()
+		if !ok {
+			break
+		}
+		if w {
+			writes++
+		}
+	}
+	frac := float64(writes) / 50_000
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("write fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestStreamSequentiality(t *testing.T) {
+	p, _ := ByName("triad")
+	g, _ := New(p, 10_000, 0, 1)
+	var prev uint64
+	seq := 0
+	for i := 0; i < 10_000; i++ {
+		_, addr, _, _ := g.Next()
+		if i > 0 && addr == prev+1 {
+			seq++
+		}
+		prev = addr
+	}
+	if frac := float64(seq) / 10_000; frac < 0.9 {
+		t.Errorf("triad sequential fraction = %v, want > 0.9", frac)
+	}
+}
+
+func TestRateMode(t *testing.T) {
+	traces, err := Rate("lbm", 8, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 8 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	if _, err := Rate("nope", 8, 100, 7); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestMixDeterminism(t *testing.T) {
+	_, names1, err := Mix(3, 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, names2, _ := Mix(3, 8, 100)
+	for i := range names1 {
+		if names1[i] != names2[i] {
+			t.Fatal("mix selection must be deterministic per seed")
+		}
+	}
+	_, other, _ := Mix(4, 8, 100)
+	diff := false
+	for i := range names1 {
+		if names1[i] != other[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different mix seeds should give different compositions")
+	}
+}
+
+func TestAttackGeometryValidation(t *testing.T) {
+	m, _ := addrmap.NewMOP4(addrmap.Default())
+	if _, err := NewAttack(m, []addrmap.Loc{{Sub: 9, Bank: 0, Row: 0}}, 10, 0); err == nil {
+		t.Error("out-of-range sub-channel should fail")
+	}
+	if _, err := NewAttack(m, nil, 10, 0); err == nil {
+		t.Error("empty steps should fail")
+	}
+}
+
+func TestDoubleSidedAlternates(t *testing.T) {
+	m, _ := addrmap.NewMOP4(addrmap.Default())
+	a, err := DoubleSided(m, 0, 3, 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[uint32]int{}
+	for {
+		_, addr, _, ok := a.Next()
+		if !ok {
+			break
+		}
+		l := m.Map(addr)
+		if l.Sub != 0 || l.Bank != 3 {
+			t.Fatalf("attack strayed to %+v", l)
+		}
+		rows[l.Row]++
+	}
+	if rows[999] != 50 || rows[1001] != 50 {
+		t.Errorf("rows = %v, want 50 each of 999 and 1001", rows)
+	}
+	if _, err := DoubleSided(m, 0, 3, 0, 100); err == nil {
+		t.Error("victim 0 should fail")
+	}
+}
+
+func TestCircularPattern(t *testing.T) {
+	m, _ := addrmap.NewMOP4(addrmap.Default())
+	a, err := Circular(m, 1, 2, 100, 5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint32
+	for i := 0; i < 5; i++ {
+		_, addr, _, _ := a.Next()
+		got = append(got, m.Map(addr).Row)
+	}
+	want := []uint32{100, 102, 104, 106, 108}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("circular rows = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAttackColumnCycling(t *testing.T) {
+	m, _ := addrmap.NewMOP4(addrmap.Default())
+	a, _ := DoubleSided(m, 0, 3, 1000, 300)
+	cols := map[int]bool{}
+	for {
+		_, addr, _, ok := a.Next()
+		if !ok {
+			break
+		}
+		cols[m.Map(addr).Col] = true
+	}
+	if len(cols) < 32 {
+		t.Errorf("attack reused %d columns; cycling should vary lines", len(cols))
+	}
+}
+
+func TestGangDoSSkipRows(t *testing.T) {
+	m, _ := addrmap.NewMOP4(addrmap.Default())
+	rows := make([]uint32, 32)
+	for i := range rows {
+		rows[i] = uint32(10 + i)
+	}
+	rows[4] = ^uint32(0)
+	a, err := GangDoS(m, 0, rows, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, addr, _, ok := a.Next()
+		if !ok {
+			break
+		}
+		if m.Map(addr).Bank == 4 {
+			t.Fatal("skipped bank must not be attacked")
+		}
+	}
+}
+
+func TestIdleTrace(t *testing.T) {
+	var tr IdleTrace
+	if _, _, _, ok := tr.Next(); ok {
+		t.Error("IdleTrace must be empty")
+	}
+}

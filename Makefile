@@ -1,0 +1,36 @@
+# Developer workflow for the DREAM reproduction. `make check` is the tier-1
+# gate (build + vet + tests); `make race` adds the race detector over the
+# concurrency-sensitive packages; `make bench-smoke` is a fast perf canary;
+# `make bench-json` emits the tracked benchmark numbers as JSON (see
+# BENCH_1.json for the recorded baselines).
+
+GO ?= go
+
+.PHONY: check build vet test race bench-smoke bench-json clean
+
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One cold iteration of the two tracked figure benchmarks plus the scheduler
+# micro-benchmark: finishes in a couple of minutes and catches gross
+# regressions without the full -bench=. sweep.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig10$$|BenchmarkDRAMActivatePrecharge$$' \
+		-benchtime=1x -timeout 1800s .
+
+bench-json:
+	./scripts/bench_json.sh
+
+clean:
+	rm -f repro.test

@@ -33,6 +33,12 @@ func benchOpts(wls ...string) exp.Options {
 
 func runExp(b *testing.B, f func(exp.Options) error, o exp.Options) {
 	b.Helper()
+	// Drop the process-wide run cache so every benchmark measures the cold
+	// cost of its own figure, not residue from benchmarks that ran earlier
+	// in the same process. Within-iteration reuse (e.g. one baseline shared
+	// across a figure's T_RH sweep) is part of what the number reports;
+	// record comparisons with -benchtime=1x (see scripts/bench_json.sh).
+	exp.ResetCache()
 	for i := 0; i < b.N; i++ {
 		if err := f(o); err != nil {
 			b.Fatal(err)

@@ -20,13 +20,17 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment ID (or 'all')")
-		quick = flag.Bool("quick", false, "reduced workload set and shorter traces")
-		seed  = flag.Uint64("seed", 0, "override the experiment seed")
-		wls   = flag.String("workloads", "", "comma-separated workload subset")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "", "experiment ID (or 'all')")
+		quick   = flag.Bool("quick", false, "reduced workload set and shorter traces")
+		seed    = flag.Uint64("seed", 0, "override the experiment seed")
+		wls     = flag.String("workloads", "", "comma-separated workload subset")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		nocache = flag.Bool("nocache", false, "disable the process-wide trace/baseline run cache")
 	)
 	flag.Parse()
+	if *nocache {
+		exp.SetCacheEnabled(false)
+	}
 
 	if *list || *run == "" {
 		fmt.Println("experiments:")
@@ -55,6 +59,7 @@ func main() {
 		for _, e := range exp.Registry {
 			runOne(e)
 		}
+		printCacheStats()
 		return
 	}
 	for _, id := range strings.Split(*run, ",") {
@@ -65,4 +70,17 @@ func main() {
 		}
 		runOne(e)
 	}
+	printCacheStats()
+}
+
+// printCacheStats reports how much redundant work the run cache absorbed
+// over this invocation (each trace-set generation and each unprotected
+// baseline simulates once per process; everything else is a hit).
+func printCacheStats() {
+	st := exp.CacheStats()
+	if st.TraceMisses+st.RunMisses == 0 {
+		return
+	}
+	fmt.Printf("[run cache: %d trace gens (+%d reused), %d baseline sims (+%d reused)]\n",
+		st.TraceMisses, st.TraceHits, st.RunMisses, st.RunHits)
 }

@@ -34,6 +34,11 @@ type SubChannel struct {
 	// busFreeAt is when the shared data bus next becomes free.
 	busFreeAt Tick
 
+	// all is the precomputed 0..banks-1 index set used by the nil-set
+	// (all-bank) command paths. Per-instance so concurrent sub-channels
+	// never share mutable state.
+	all []int
+
 	// Stats.
 	Reads, Writes   uint64
 	Refreshes       uint64
@@ -57,9 +62,10 @@ func NewSubChannel(t Timings, banks int) (*SubChannel, error) {
 	if banks <= 0 || banks%BanksPerGroup != 0 {
 		return nil, fmt.Errorf("dram: bank count %d not a multiple of %d", banks, BanksPerGroup)
 	}
-	s := &SubChannel{Timings: t, Banks: make([]Bank, banks)}
+	s := &SubChannel{Timings: t, Banks: make([]Bank, banks), all: make([]int, banks)}
 	for i := range s.Banks {
 		s.Banks[i].OpenRow = NoRow
+		s.all[i] = i
 	}
 	return s, nil
 }
@@ -96,7 +102,7 @@ func (s *SubChannel) EarliestAllIdle(set []int) (Tick, bool) {
 	var t Tick
 	idx := set
 	if idx == nil {
-		idx = allBanks(len(s.Banks))
+		idx = s.all
 	}
 	for _, b := range idx {
 		bank := &s.Banks[b]
@@ -108,22 +114,6 @@ func (s *SubChannel) EarliestAllIdle(set []int) (Tick, bool) {
 		}
 	}
 	return t, true
-}
-
-var allBanksCache [][]int
-
-func allBanks(n int) []int {
-	for _, c := range allBanksCache {
-		if len(c) == n {
-			return c
-		}
-	}
-	c := make([]int, n)
-	for i := range c {
-		c[i] = i
-	}
-	allBanksCache = append(allBanksCache, c)
-	return c
 }
 
 // SameBankSet returns the DRFMsb target set for bank b: the bank with the
@@ -231,7 +221,7 @@ func (s *SubChannel) DRFMab(now Tick) ([]Mitigation, error) {
 func (s *SubChannel) drfm(now Tick, set []int, dur Tick, counter *uint64) ([]Mitigation, error) {
 	idx := set
 	if idx == nil {
-		idx = allBanks(len(s.Banks))
+		idx = s.all
 	}
 	ready, ok := s.EarliestAllIdle(idx)
 	if !ok {
@@ -267,7 +257,7 @@ func (s *SubChannel) drfm(now Tick, set []int, dur Tick, counter *uint64) ([]Mit
 func (s *SubChannel) ValidDARs(set []int) int {
 	idx := set
 	if idx == nil {
-		idx = allBanks(len(s.Banks))
+		idx = s.all
 	}
 	n := 0
 	for _, b := range idx {

@@ -6,7 +6,6 @@ import (
 	dreamcore "repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/tracker"
-	"repro/internal/workload"
 )
 
 // Fig5 reproduces Figure 5: the motivation result that a straightforward
@@ -167,10 +166,19 @@ func Fig17(o Options) error {
 	printSlowdownTable(o.out(), "Figure 17: slowdown at T_RH=125", wls, schemeNames(schemes), slow)
 	t := stats.Table{Title: "Figure 17: storage", Columns: []string{"design", "KB/bank"}}
 	for _, sc := range schemes {
-		var bits int64
+		// Storage is a property of the design, not the workload: average
+		// across workloads and reject any disagreement loudly instead of
+		// silently reporting whichever workload iterated last.
+		var sum int64
 		for _, wl := range wls {
-			bits = raw[wl][sc.Name].StorageBits
+			bits := raw[wl][sc.Name].StorageBits
+			if ref := raw[wls[0]][sc.Name].StorageBits; bits != ref {
+				return fmt.Errorf("fig17: %s storage differs across workloads (%d vs %d bits)",
+					sc.Name, bits, ref)
+			}
+			sum += bits
 		}
+		bits := sum / int64(len(wls))
 		t.AddRow(sc.Name, fmt.Sprintf("%.2f", float64(bits)/8/1024/32))
 	}
 	fmt.Fprintln(o.out(), t.String())
@@ -246,10 +254,10 @@ func Fig23(o Options) error {
 		}
 		results, err := Parallel(len(jobs), func(i int) (stats.RunResult, error) {
 			j := jobs[i]
-			traces, _, err := workload.Mix(uint64(j.mix)+1, 8, o.accesses())
-			if err != nil {
-				return stats.RunResult{}, err
-			}
+			// MixSeed routes trace generation through the run cache: each
+			// mix is recorded once and replayed for every (T_RH, scheme)
+			// job, and the baseline simulation itself is memoized across
+			// the T_RH sweep (it does not depend on the threshold).
 			return Run(RunConfig{
 				Workload:        fmt.Sprintf("mix%d", j.mix),
 				Cores:           8,
@@ -258,7 +266,7 @@ func Fig23(o Options) error {
 				Scheme:          j.scheme,
 				Seed:            o.seed(),
 				WindowScale:     o.windowScale(),
-				Traces:          traces,
+				MixSeed:         uint64(j.mix) + 1,
 			})
 		})
 		if err != nil {

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/dram"
 	"repro/internal/memctrl"
+	"repro/internal/runcache"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/system"
@@ -65,13 +67,141 @@ type RunConfig struct {
 	Characterize bool
 	// MOPCap overrides the page-policy close-after-N limit (0 = default 4).
 	MOPCap int
-	// Traces overrides the workload with explicit traces.
+	// MixSeed selects an Appendix-D random SPEC2017 mix instead of
+	// Workload (non-zero = workload.Mix(MixSeed, Cores, AccessesPerCore));
+	// mix traces go through the run cache like rate-mode ones.
+	MixSeed uint64
+	// Traces overrides the workload with explicit traces (attack patterns);
+	// such runs bypass the cache entirely.
 	Traces []cpu.Trace
 	// MaxTime caps simulated time (0 = default 200 ms).
 	MaxTime sim.Tick
+
+	// legacySched selects the flat-queue reference scheduler in the memory
+	// controllers (equivalence tests only).
+	legacySched bool
 }
 
-// Run executes one configuration and returns its metrics.
+// --- process-wide run cache -------------------------------------------------
+
+// runCache memoizes trace generation and unprotected-baseline simulations
+// across every experiment in the process (see internal/runcache). Disable
+// it with SetCacheEnabled(false) to force recomputation.
+var (
+	runCache     = runcache.New(0)
+	cacheEnabled atomic.Bool
+)
+
+func init() { cacheEnabled.Store(true) }
+
+// SetCacheEnabled toggles the process-wide run cache and reports the
+// previous setting. Disabling does not drop existing entries (use
+// ResetCache); it only makes Run recompute.
+func SetCacheEnabled(on bool) (was bool) { return cacheEnabled.Swap(on) }
+
+// ResetCache drops every cached trace and run result and zeroes the
+// hit/miss counters (tests, benchmarks).
+func ResetCache() { runCache.Reset() }
+
+// CacheStats snapshots the run cache's hit/miss counters.
+func CacheStats() runcache.Stats { return runCache.Stats() }
+
+// traceKey builds the cache identity of cfg's trace set, and whether the
+// config is cacheable at all (explicit Traces are not).
+func (cfg RunConfig) traceKey() (runcache.TraceKey, bool) {
+	if cfg.Traces != nil {
+		return runcache.TraceKey{}, false
+	}
+	if cfg.MixSeed != 0 {
+		return runcache.TraceKey{
+			Kind: "mix", MixSeed: cfg.MixSeed,
+			Cores: cfg.Cores, Accesses: cfg.AccessesPerCore,
+		}, true
+	}
+	return runcache.TraceKey{
+		Kind: "rate", Workload: cfg.Workload,
+		Cores: cfg.Cores, Accesses: cfg.AccessesPerCore, Seed: cfg.Seed,
+	}, true
+}
+
+// runKey builds the cache identity of an unprotected run, and whether the
+// result is memoizable: only scheme-free (nil Build) runs on cacheable
+// traces qualify, because mitigators both depend on extra inputs (T_RH,
+// WindowScale, per-sub-channel RNGs) and carry per-run state. T_RH and
+// WindowScale are deliberately excluded from the key — they do not affect
+// an unprotected simulation — so a figure's threshold sweep shares one
+// baseline per workload.
+func (cfg RunConfig) runKey() (runcache.RunKey, bool) {
+	tk, ok := cfg.traceKey()
+	if !ok || cfg.Scheme.Build != nil || cfg.legacySched {
+		return runcache.RunKey{}, false
+	}
+	mop := cfg.MOPCap
+	if mop <= 0 {
+		mop = memctrl.DefaultConfig().MOPCap
+	}
+	return runcache.RunKey{
+		Trace:        tk,
+		PRAC:         cfg.Scheme.PRAC,
+		SmallLLC:     cfg.SmallLLC,
+		Audit:        cfg.Audit,
+		Characterize: cfg.Characterize,
+		MOPCap:       mop,
+		MaxTime:      int64(cfg.MaxTime),
+	}, true
+}
+
+// cachedTraces returns fresh replayers over the memoized trace set for cfg,
+// generating and recording it on first use.
+func cachedTraces(cfg RunConfig, key runcache.TraceKey) ([]cpu.Trace, error) {
+	ts, err := runCache.Traces(key, func() (runcache.TraceSet, error) {
+		gens, err := generateTraces(cfg)
+		if err != nil {
+			return nil, err
+		}
+		srcs := make([]runcache.Source, len(gens))
+		for i, g := range gens {
+			srcs[i] = g
+		}
+		return runcache.RecordAll(srcs), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	traces := make([]cpu.Trace, len(ts))
+	for i := range ts {
+		traces[i] = runcache.NewReplayer(ts[i])
+	}
+	return traces, nil
+}
+
+// generateTraces builds cfg's trace generators directly (cache miss or
+// cache disabled).
+func generateTraces(cfg RunConfig) ([]cpu.Trace, error) {
+	if cfg.MixSeed != 0 {
+		traces, _, err := workload.Mix(cfg.MixSeed, cfg.Cores, cfg.AccessesPerCore)
+		return traces, err
+	}
+	return workload.Rate(cfg.Workload, cfg.Cores, cfg.AccessesPerCore, cfg.Seed)
+}
+
+// relabel patches the identity fields a cached result carries from the run
+// that populated the cache; everything else is identical by construction.
+func relabel(r stats.RunResult, cfg RunConfig) stats.RunResult {
+	r.Scheme = cfg.Scheme.Name
+	r.Workload = cfg.Workload
+	r.TRH = cfg.TRH
+	// Clone the slices so callers can never alias the cached copy.
+	r.CoreIPC = append([]float64(nil), r.CoreIPC...)
+	r.CoreRetired = append([]int64(nil), r.CoreRetired...)
+	return r
+}
+
+// Run executes one configuration and returns its metrics. Unprotected
+// (scheme-free) runs on generated traces are memoized process-wide: the
+// first request simulates, concurrent identical requests share that
+// simulation (singleflight), and later ones return the cached result —
+// bit-identical to an uncached run.
 func Run(cfg RunConfig) (stats.RunResult, error) {
 	if cfg.Cores <= 0 {
 		cfg.Cores = 8
@@ -85,7 +215,28 @@ func Run(cfg RunConfig) (stats.RunResult, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 0x5eed
 	}
+	if cfg.MaxTime == 0 {
+		cfg.MaxTime = 200 * 1000 * 1000 * sim.TicksPerNS // 200 ms
+	}
 
+	if key, ok := cfg.runKey(); ok && cacheEnabled.Load() {
+		v, err := runCache.Run(key, func() (any, error) {
+			r, err := runUncached(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		})
+		if err != nil {
+			return stats.RunResult{}, err
+		}
+		return relabel(v.(stats.RunResult), cfg), nil
+	}
+	return runUncached(cfg)
+}
+
+// runUncached executes one already-normalized configuration.
+func runUncached(cfg RunConfig) (stats.RunResult, error) {
 	sysCfg := system.DefaultConfig()
 	if cfg.Scheme.PRAC {
 		sysCfg.Timings = dram.PRACTimings()
@@ -98,8 +249,8 @@ func Run(cfg RunConfig) (stats.RunResult, error) {
 	if cfg.MOPCap > 0 {
 		sysCfg.CtrlCfg.MOPCap = cfg.MOPCap
 	}
-	if cfg.MaxTime == 0 {
-		cfg.MaxTime = 200 * 1000 * 1000 * sim.TicksPerNS // 200 ms
+	if cfg.legacySched {
+		sysCfg.CtrlCfg.Scheduler = memctrl.SchedFlat
 	}
 	sysCfg.MaxTime = cfg.MaxTime
 
@@ -136,7 +287,11 @@ func Run(cfg RunConfig) (stats.RunResult, error) {
 	traces := cfg.Traces
 	if traces == nil {
 		var err error
-		traces, err = workload.Rate(cfg.Workload, cfg.Cores, cfg.AccessesPerCore, cfg.Seed)
+		if key, ok := cfg.traceKey(); ok && cacheEnabled.Load() {
+			traces, err = cachedTraces(cfg, key)
+		} else {
+			traces, err = generateTraces(cfg)
+		}
 		if err != nil {
 			return stats.RunResult{}, err
 		}
@@ -235,22 +390,113 @@ func RunPair(cfg RunConfig) (base, scheme stats.RunResult, slowdown float64, err
 	return
 }
 
-// Parallel runs jobs across CPUs, preserving result order.
+// --- shared worker pool -----------------------------------------------------
+
+// batch is one Parallel invocation: a counter of unclaimed job indices and
+// a completion latch. Workers and the submitting goroutine draw indices
+// from the same counter, so work is shared without per-call goroutine
+// churn and nested Parallel calls can never deadlock (the submitter always
+// drives its own batch to completion).
+type batch struct {
+	n       int
+	next    atomic.Int64
+	pending atomic.Int64
+	done    chan struct{}
+	run     func(i int)
+}
+
+// help claims and runs job indices until the batch is exhausted.
+func (b *batch) help() {
+	for {
+		i := int(b.next.Add(1)) - 1
+		if i >= b.n {
+			return
+		}
+		b.run(i)
+		if b.pending.Add(-1) == 0 {
+			close(b.done)
+		}
+	}
+}
+
+// pool fans active batches out to a fixed set of workers.
+type pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	batches []*batch
+}
+
+var (
+	sharedPool = &pool{}
+	poolOnce   sync.Once
+)
+
+func (p *pool) start() {
+	p.cond = sync.NewCond(&p.mu)
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		go p.worker()
+	}
+}
+
+func (p *pool) worker() {
+	for {
+		p.mu.Lock()
+		var b *batch
+		for b == nil {
+			for i := 0; i < len(p.batches); i++ {
+				if p.batches[i].next.Load() < int64(p.batches[i].n) {
+					b = p.batches[i]
+					break
+				}
+			}
+			if b == nil {
+				p.cond.Wait()
+			}
+		}
+		p.mu.Unlock()
+		b.help()
+	}
+}
+
+func (p *pool) submit(b *batch) {
+	p.mu.Lock()
+	p.batches = append(p.batches, b)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+func (p *pool) remove(b *batch) {
+	p.mu.Lock()
+	for i := range p.batches {
+		if p.batches[i] == b {
+			p.batches = append(p.batches[:i], p.batches[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Parallel runs jobs on the shared worker pool, preserving result order.
+// Identical in-flight simulations are additionally deduplicated by the run
+// cache's singleflight layer, so concurrent figures never race to compute
+// the same baseline twice.
 func Parallel[T any](n int, job func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	poolOnce.Do(sharedPool.start)
 	results := make([]T, n)
 	errs := make([]error, n)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], errs[i] = job(i)
-		}(i)
+	b := &batch{
+		n:    n,
+		done: make(chan struct{}),
+		run:  func(i int) { results[i], errs[i] = job(i) },
 	}
-	wg.Wait()
+	b.pending.Store(int64(n))
+	sharedPool.submit(b)
+	b.help()
+	<-b.done
+	sharedPool.remove(b)
 	for _, e := range errs {
 		if e != nil {
 			return nil, e

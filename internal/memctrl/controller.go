@@ -19,6 +19,11 @@ type Request struct {
 	// Notify requests a completion callback (demand loads). Store-miss
 	// fills and writebacks set it false.
 	Notify bool
+
+	// seq is the controller-assigned enqueue sequence number; it breaks
+	// full FR-FCFS ties (same hit class, same start time) in favour of the
+	// oldest request, matching flat queue order.
+	seq uint64
 }
 
 // Config holds controller policy parameters.
@@ -42,6 +47,10 @@ type Config struct {
 	// EnableCharacterization counts demand activations per (bank, row)
 	// without any resets, for the Table-3 workload characterisation.
 	EnableCharacterization bool
+	// Scheduler selects the queue implementation (SchedBanked by default;
+	// SchedFlat keeps the original flat-scan reference for equivalence
+	// testing). Both produce identical schedules.
+	Scheduler SchedKind
 }
 
 // DefaultConfig returns the baseline controller policy.
@@ -63,8 +72,11 @@ type Controller struct {
 	dev *dram.SubChannel
 	mit Mitigator
 
-	readQ  []Request
-	writeQ []Request
+	sched   scheduler
+	nextSeq uint64
+	// allBanks is the cached 0..N-1 index set handed to prepBanks for
+	// all-bank mitigation ops (avoids a per-op allocation).
+	allBanks []int
 
 	draining      bool
 	nextRefresh   Tick
@@ -106,10 +118,19 @@ func New(cfg Config, dev *dram.SubChannel, mit Mitigator,
 		cfg:           cfg,
 		dev:           dev,
 		mit:           mit,
+		allBanks:      make([]int, len(dev.Banks)),
 		hits:          make([]int, len(dev.Banks)),
 		sampleOnClose: make([]bool, len(dev.Banks)),
 		onDone:        onDone,
 		nextRefresh:   dev.Timings.TREFI,
+	}
+	for i := range c.allBanks {
+		c.allBanks[i] = i
+	}
+	if cfg.Scheduler == SchedFlat {
+		c.sched = newFlatSched(c)
+	} else {
+		c.sched = newBankedSched(c, len(dev.Banks))
 	}
 	if cfg.EnableAudit {
 		c.Auditor = NewAuditor(1<<31, cfg.RefsPerWindow)
@@ -129,15 +150,13 @@ func (c *Controller) Mitigator() Mitigator { return c.mit }
 // Enqueue adds a request. The system must recompute the controller's wake
 // time afterwards (NextWake).
 func (c *Controller) Enqueue(r Request) {
-	if r.IsWrite {
-		c.writeQ = append(c.writeQ, r)
-	} else {
-		c.readQ = append(c.readQ, r)
-	}
+	r.seq = c.nextSeq
+	c.nextSeq++
+	c.sched.enqueue(r)
 }
 
 // QueueLens reports pending reads and writes.
-func (c *Controller) QueueLens() (reads, writes int) { return len(c.readQ), len(c.writeQ) }
+func (c *Controller) QueueLens() (reads, writes int) { return c.sched.lens() }
 
 // Process services everything serviceable at time now and returns the next
 // time the controller needs to run.
@@ -149,17 +168,9 @@ func (c *Controller) Process(now Tick) (Tick, error) {
 			}
 			continue
 		}
-		idx, fromWrite, start := c.pick(now)
-		if idx < 0 || start > now {
+		req, start, ok := c.sched.pick(now, c.wantWrites())
+		if !ok {
 			break
-		}
-		var req Request
-		if fromWrite {
-			req = c.writeQ[idx]
-			c.writeQ = append(c.writeQ[:idx], c.writeQ[idx+1:]...)
-		} else {
-			req = c.readQ[idx]
-			c.readQ = append(c.readQ[:idx], c.readQ[idx+1:]...)
 		}
 		if err := c.service(req, start); err != nil {
 			return 0, err
@@ -184,69 +195,24 @@ func (c *Controller) startTime(r Request) (Tick, bool) {
 
 // wantWrites updates and reports write-drain mode.
 func (c *Controller) wantWrites() bool {
+	reads, writes := c.sched.lens()
 	if c.draining {
-		if len(c.writeQ) <= c.cfg.WriteLo {
+		if writes <= c.cfg.WriteLo {
 			c.draining = false
 		}
-	} else if len(c.writeQ) >= c.cfg.WriteHi || (len(c.readQ) == 0 && len(c.writeQ) > 0) {
+	} else if writes >= c.cfg.WriteHi || (reads == 0 && writes > 0) {
 		c.draining = true
 	}
 	return c.draining
 }
 
-// pick selects the next request under FR-FCFS: among requests startable by
-// now, row hits first (earliest start), else the oldest request. It returns
-// (-1, false, earliest-future-start) when nothing is startable.
-func (c *Controller) pick(now Tick) (idx int, fromWrite bool, start Tick) {
-	q := c.readQ
-	fromWrite = c.wantWrites()
-	if fromWrite {
-		q = c.writeQ
-	}
-	bestIdx := -1
-	bestStart := sim.Forever
-	bestHit := false
-	minFuture := sim.Forever
-	for i := range q {
-		s, hit := c.startTime(q[i])
-		if s > now {
-			if s < minFuture {
-				minFuture = s
-			}
-			continue
-		}
-		better := false
-		switch {
-		case bestIdx < 0:
-			better = true
-		case hit && !bestHit:
-			better = true
-		case hit == bestHit && s < bestStart:
-			better = true
-		}
-		if better {
-			bestIdx, bestStart, bestHit = i, s, hit
-		}
-	}
-	if bestIdx < 0 {
-		return -1, fromWrite, minFuture
-	}
-	return bestIdx, fromWrite, bestStart
-}
-
 // NextWake reports when the controller next has work.
 func (c *Controller) NextWake(now Tick) Tick {
 	w := c.nextRefresh
-	scan := func(q []Request) {
-		for i := range q {
-			if s, _ := c.startTime(q[i]); s < w {
-				w = s
-			}
-		}
-	}
-	scan(c.readQ)
-	if len(c.writeQ) > 0 && (c.draining || len(c.writeQ) >= c.cfg.WriteHi || len(c.readQ) == 0) {
-		scan(c.writeQ)
+	reads, writes := c.sched.lens()
+	includeWrites := writes > 0 && (c.draining || writes >= c.cfg.WriteHi || reads == 0)
+	if m := c.sched.minStart(includeWrites); m < w {
+		w = m
 	}
 	if w <= now {
 		w = now + 1
@@ -267,6 +233,7 @@ func (c *Controller) closeBank(b int, after Tick) (Tick, error) {
 	if err := c.dev.Precharge(t, b, sample); err != nil {
 		return 0, err
 	}
+	c.sched.dirtyBank(b)
 	c.hits[b] = 0
 	if sample {
 		c.sampleOnClose[b] = false
@@ -302,6 +269,7 @@ func (c *Controller) service(r Request, start Tick) error {
 		if err := c.dev.Activate(at, b, r.Row); err != nil {
 			return err
 		}
+		c.sched.dirtyBank(b)
 		if c.Auditor != nil {
 			c.Auditor.OnActivate(b, r.Row)
 		}
@@ -327,6 +295,7 @@ func (c *Controller) service(r Request, start Tick) error {
 	if err != nil {
 		return err
 	}
+	c.sched.dirtyBank(b)
 	c.hits[b]++
 	if !activated {
 		c.RowHits++
@@ -373,6 +342,7 @@ func (c *Controller) doRefresh() error {
 	if err := c.dev.Refresh(start); err != nil {
 		return err
 	}
+	c.sched.dirtyAll()
 	c.RefreshStall += c.dev.Timings.TRFC
 	c.refreshesDone++
 	refIdx := c.refIndex
@@ -421,6 +391,7 @@ func (c *Controller) execOp(op Op, after Tick) (Tick, error) {
 		if err != nil {
 			return 0, err
 		}
+		c.sched.dirtyBank(op.Bank)
 		c.reportMits(t+ti.TNRR, mits)
 		c.MitStallBank += ti.TNRR
 		return t + ti.TNRR, nil
@@ -435,6 +406,9 @@ func (c *Controller) execOp(op Op, after Tick) (Tick, error) {
 		if err != nil {
 			return 0, err
 		}
+		for _, b := range set {
+			c.sched.dirtyBank(b)
+		}
 		c.reportMits(t+ti.TDRFMsb, mits)
 		c.MitStallBank += ti.TDRFMsb * Tick(len(set))
 		return t + ti.TDRFMsb, nil
@@ -448,6 +422,7 @@ func (c *Controller) execOp(op Op, after Tick) (Tick, error) {
 		if err != nil {
 			return 0, err
 		}
+		c.sched.dirtyAll()
 		c.reportMits(t+ti.TDRFMab, mits)
 		c.MitStallBank += ti.TDRFMab * Tick(len(c.dev.Banks))
 		return t + ti.TDRFMab, nil
@@ -461,6 +436,7 @@ func (c *Controller) execOp(op Op, after Tick) (Tick, error) {
 		if err != nil {
 			return 0, err
 		}
+		c.sched.dirtyBank(op.Bank)
 		if c.Auditor != nil {
 			c.Auditor.OnActivate(op.Bank, op.Row)
 		}
@@ -490,6 +466,7 @@ func (c *Controller) execOp(op Op, after Tick) (Tick, error) {
 				return 0, err
 			}
 			t += ti.TDRFMab
+			c.sched.dirtyAll()
 			c.reportMits(t, mits)
 			c.MitStallBank += (c.cfg.GangSampleDur + ti.TDRFMab) * Tick(len(c.dev.Banks))
 		}
@@ -497,6 +474,7 @@ func (c *Controller) execOp(op Op, after Tick) (Tick, error) {
 
 	case OpStallAll:
 		c.dev.StallAll(after, op.Dur)
+		c.sched.dirtyAll()
 		c.MitStallBank += op.Dur * Tick(len(c.dev.Banks))
 		return after + op.Dur, nil
 
@@ -511,10 +489,7 @@ func (c *Controller) execOp(op Op, after Tick) (Tick, error) {
 func (c *Controller) prepBanks(set []int, after Tick) (Tick, error) {
 	idx := set
 	if idx == nil {
-		idx = make([]int, len(c.dev.Banks))
-		for i := range idx {
-			idx[i] = i
-		}
+		idx = c.allBanks
 	}
 	t := after
 	for _, b := range idx {

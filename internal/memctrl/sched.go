@@ -1,0 +1,343 @@
+package memctrl
+
+import (
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+// SchedKind selects the controller's queue implementation.
+type SchedKind int
+
+const (
+	// SchedBanked is the default: per-bank FIFO queues with lazily
+	// maintained per-bank earliest-start aggregates. pick touches only
+	// banks that can start a request now, removal is a small in-bank
+	// shift, and NextWake is O(banks) instead of a full-queue rescan.
+	SchedBanked SchedKind = iota
+	// SchedFlat is the original flat-slice reference implementation,
+	// retained for the scheduler-equivalence tests: both kinds must
+	// produce bit-identical schedules.
+	SchedFlat
+)
+
+// scheduler is the controller's pending-request store. Both implementations
+// realise the same FR-FCFS policy: among requests startable at now, row
+// hits beat misses, earlier start times beat later ones, and remaining
+// ties go to the oldest request (lowest enqueue sequence number).
+type scheduler interface {
+	enqueue(r Request)
+	lens() (reads, writes int)
+	// pick removes and returns the best request startable at now from the
+	// read queue (or the write queue when fromWrite is set), along with its
+	// service-start time.
+	pick(now Tick, fromWrite bool) (Request, Tick, bool)
+	// minStart reports the earliest service-start time over all queued
+	// reads — plus writes when includeWrites is set — or sim.Forever.
+	minStart(includeWrites bool) Tick
+	// dirtyBank invalidates cached timing state for bank b after the
+	// controller issued a command that moved the bank's horizons.
+	dirtyBank(b int)
+	// dirtyAll invalidates every bank (REF, DRFMab, whole-channel stalls).
+	dirtyAll()
+}
+
+// --- flat reference implementation ------------------------------------------
+
+type flatSched struct {
+	c      *Controller
+	readQ  []Request
+	writeQ []Request
+}
+
+func newFlatSched(c *Controller) *flatSched { return &flatSched{c: c} }
+
+func (s *flatSched) enqueue(r Request) {
+	if r.IsWrite {
+		s.writeQ = append(s.writeQ, r)
+	} else {
+		s.readQ = append(s.readQ, r)
+	}
+}
+
+func (s *flatSched) lens() (int, int) { return len(s.readQ), len(s.writeQ) }
+
+func (s *flatSched) pick(now Tick, fromWrite bool) (Request, Tick, bool) {
+	q := &s.readQ
+	if fromWrite {
+		q = &s.writeQ
+	}
+	bestIdx := -1
+	bestStart := sim.Forever
+	bestHit := false
+	for i := range *q {
+		st, hit := s.c.startTime((*q)[i])
+		if st > now {
+			continue
+		}
+		better := false
+		switch {
+		case bestIdx < 0:
+			better = true
+		case hit && !bestHit:
+			better = true
+		case hit == bestHit && st < bestStart:
+			better = true
+		}
+		if better {
+			bestIdx, bestStart, bestHit = i, st, hit
+		}
+	}
+	if bestIdx < 0 {
+		return Request{}, 0, false
+	}
+	r := (*q)[bestIdx]
+	*q = append((*q)[:bestIdx], (*q)[bestIdx+1:]...)
+	return r, bestStart, true
+}
+
+func (s *flatSched) minStart(includeWrites bool) Tick {
+	w := sim.Forever
+	scan := func(q []Request) {
+		for i := range q {
+			if st, _ := s.c.startTime(q[i]); st < w {
+				w = st
+			}
+		}
+	}
+	scan(s.readQ)
+	if includeWrites {
+		scan(s.writeQ)
+	}
+	return w
+}
+
+func (s *flatSched) dirtyBank(int) {}
+func (s *flatSched) dirtyAll()     {}
+
+// --- banked implementation ---------------------------------------------------
+
+// bankQ is one bank's FIFO plus its cached earliest-start aggregate.
+//
+// The aggregate splits by row-buffer outcome against the bank's current
+// state: hitLocal is the minimum of max(arrival, bank-local column
+// readiness) over requests targeting the open row, and miss is the minimum
+// of max(arrival, precharge/activate readiness) over the rest. hitLocal
+// excludes the shared data bus deliberately — the bus horizon moves on
+// every column access anywhere in the sub-channel, so it is applied as
+// max(hitLocal, busReady) at query time, which keeps the aggregate valid
+// until a bank-local event (command to this bank, queue change) dirties it.
+type bankQ struct {
+	reqs     []Request
+	dirty    bool
+	hitLocal Tick
+	miss     Tick
+}
+
+// bankedQueue is one direction (reads or writes) of the banked scheduler.
+type bankedQueue struct {
+	banks []bankQ
+	size  int
+}
+
+type bankedSched struct {
+	c      *Controller
+	reads  bankedQueue
+	writes bankedQueue
+}
+
+func newBankedSched(c *Controller, banks int) *bankedSched {
+	s := &bankedSched{c: c}
+	s.reads.banks = make([]bankQ, banks)
+	s.writes.banks = make([]bankQ, banks)
+	for b := range s.reads.banks {
+		s.reads.banks[b] = bankQ{hitLocal: sim.Forever, miss: sim.Forever}
+		s.writes.banks[b] = bankQ{hitLocal: sim.Forever, miss: sim.Forever}
+	}
+	return s
+}
+
+func (s *bankedSched) enqueue(r Request) {
+	q := &s.reads
+	if r.IsWrite {
+		q = &s.writes
+	}
+	bq := &q.banks[r.Bank]
+	bq.reqs = append(bq.reqs, r)
+	q.size++
+	if bq.dirty {
+		return
+	}
+	// Fold the newcomer into the clean aggregate in O(1).
+	bank := s.c.dev.Bank(r.Bank)
+	if bank.OpenRow != dram.NoRow && bank.OpenRow == int64(r.Row) {
+		if v := sim.MaxTick(r.Arrival, bank.EarliestColumn()); v < bq.hitLocal {
+			bq.hitLocal = v
+		}
+	} else {
+		ready := bank.EarliestActivate()
+		if bank.OpenRow != dram.NoRow {
+			ready = bank.EarliestPrecharge()
+		}
+		if v := sim.MaxTick(r.Arrival, ready); v < bq.miss {
+			bq.miss = v
+		}
+	}
+}
+
+func (s *bankedSched) lens() (int, int) { return s.reads.size, s.writes.size }
+
+// recompute rebuilds bank b's aggregate from its queue and current state.
+func (s *bankedSched) recompute(q *bankedQueue, b int) {
+	bq := &q.banks[b]
+	bq.dirty = false
+	bq.hitLocal, bq.miss = sim.Forever, sim.Forever
+	if len(bq.reqs) == 0 {
+		return
+	}
+	bank := s.c.dev.Bank(b)
+	open := bank.OpenRow
+	colLocal := bank.EarliestColumn()
+	ready := bank.EarliestActivate()
+	if open != dram.NoRow {
+		ready = bank.EarliestPrecharge()
+	}
+	for i := range bq.reqs {
+		r := &bq.reqs[i]
+		if open != dram.NoRow && open == int64(r.Row) {
+			if v := sim.MaxTick(r.Arrival, colLocal); v < bq.hitLocal {
+				bq.hitLocal = v
+			}
+		} else if v := sim.MaxTick(r.Arrival, ready); v < bq.miss {
+			bq.miss = v
+		}
+	}
+}
+
+// busReady reports the earliest command time at which a column burst would
+// find the shared data bus free (the global term of EarliestColumn).
+func (s *bankedSched) busReady() Tick {
+	return s.c.dev.BusFreeAt() - s.c.dev.Timings.TCL
+}
+
+func (s *bankedSched) pick(now Tick, fromWrite bool) (Request, Tick, bool) {
+	q := &s.reads
+	if fromWrite {
+		q = &s.writes
+	}
+	if q.size == 0 {
+		return Request{}, 0, false
+	}
+	g := s.busReady()
+	bestBank, bestIdx := -1, -1
+	bestStart := sim.Forever
+	bestHit := false
+	var bestSeq uint64
+	for b := range q.banks {
+		bq := &q.banks[b]
+		if len(bq.reqs) == 0 {
+			continue
+		}
+		if bq.dirty {
+			s.recompute(q, b)
+		}
+		// Skip banks that cannot start anything at now; their aggregate
+		// alone bounds them out.
+		bankMin := bq.miss
+		if bq.hitLocal != sim.Forever {
+			if hs := sim.MaxTick(bq.hitLocal, g); hs < bankMin {
+				bankMin = hs
+			}
+		}
+		if bankMin > now {
+			continue
+		}
+		bank := s.c.dev.Bank(b)
+		open := bank.OpenRow
+		colC := sim.MaxTick(bank.EarliestColumn(), g)
+		ready := bank.EarliestActivate()
+		if open != dram.NoRow {
+			ready = bank.EarliestPrecharge()
+		}
+		for i := range bq.reqs {
+			r := &bq.reqs[i]
+			hit := open != dram.NoRow && open == int64(r.Row)
+			var st Tick
+			if hit {
+				st = sim.MaxTick(r.Arrival, colC)
+			} else {
+				st = sim.MaxTick(r.Arrival, ready)
+			}
+			if st > now {
+				continue
+			}
+			better := false
+			switch {
+			case bestIdx < 0:
+				better = true
+			case hit != bestHit:
+				better = hit
+			case st != bestStart:
+				better = st < bestStart
+			default:
+				better = r.seq < bestSeq
+			}
+			if better {
+				bestBank, bestIdx = b, i
+				bestStart, bestHit, bestSeq = st, hit, r.seq
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return Request{}, 0, false
+	}
+	bq := &q.banks[bestBank]
+	r := bq.reqs[bestIdx]
+	bq.reqs = append(bq.reqs[:bestIdx], bq.reqs[bestIdx+1:]...)
+	bq.dirty = true // the removed request may have defined the aggregate
+	q.size--
+	return r, bestStart, true
+}
+
+func (s *bankedSched) minStart(includeWrites bool) Tick {
+	w := sim.Forever
+	g := s.busReady()
+	scan := func(q *bankedQueue) {
+		if q.size == 0 {
+			return
+		}
+		for b := range q.banks {
+			bq := &q.banks[b]
+			if len(bq.reqs) == 0 {
+				continue
+			}
+			if bq.dirty {
+				s.recompute(q, b)
+			}
+			if bq.miss < w {
+				w = bq.miss
+			}
+			if bq.hitLocal != sim.Forever {
+				if hs := sim.MaxTick(bq.hitLocal, g); hs < w {
+					w = hs
+				}
+			}
+		}
+	}
+	scan(&s.reads)
+	if includeWrites {
+		scan(&s.writes)
+	}
+	return w
+}
+
+func (s *bankedSched) dirtyBank(b int) {
+	s.reads.banks[b].dirty = true
+	s.writes.banks[b].dirty = true
+}
+
+func (s *bankedSched) dirtyAll() {
+	for b := range s.reads.banks {
+		s.reads.banks[b].dirty = true
+		s.writes.banks[b].dirty = true
+	}
+}

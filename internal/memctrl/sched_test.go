@@ -1,0 +1,203 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+// stressMit exercises every mitigation-op path deterministically so the
+// scheduler equivalence test covers stalls, DRFMs, samples and NRRs, not
+// just plain reads and writes.
+type stressMit struct{ acts int }
+
+func (m *stressMit) Name() string { return "stress" }
+func (m *stressMit) OnActivate(now Tick, bank int, row uint32) Decision {
+	m.acts++
+	var d Decision
+	if row%8 == 0 {
+		d.Sample = true
+	}
+	switch {
+	case m.acts%97 == 0:
+		d.CloseNow = true
+		d.PostOps = []Op{{Kind: OpDRFMsb, Bank: bank}}
+	case m.acts%151 == 0:
+		d.PreOps = []Op{{Kind: OpNRR, Bank: bank, Row: row}}
+	case m.acts%211 == 0:
+		d.CloseNow = true
+		d.PostOps = []Op{{Kind: OpDRFMab}}
+	case m.acts%263 == 0:
+		d.PreOps = []Op{{Kind: OpExplicitSample, Bank: (bank + 5) % 32, Row: row + 1}}
+	}
+	return d
+}
+func (m *stressMit) OnSampled(Tick, int, uint32)           {}
+func (m *stressMit) OnMitigations(Tick, []dram.Mitigation) {}
+func (m *stressMit) OnRefresh(now Tick, ref uint64) []Op {
+	if ref%3 == 0 {
+		return []Op{{Kind: OpStallAll, Dur: sim.NS(100)}}
+	}
+	return nil
+}
+func (m *stressMit) StorageBits() int64 { return 0 }
+
+// schedStats is the comparable counter portion of a run's observables.
+type schedStats struct {
+	acts  uint64
+	hits  uint64
+	reads uint64
+	wris  uint64
+	lat   Tick
+	refs  uint64
+	mits  uint64
+	qr    int
+	qw    int
+}
+
+// schedTrace is everything observable from one controller run.
+type schedTrace struct {
+	wakes []Tick
+	dones []Tick
+	schedStats
+}
+
+// driveSched feeds reqs (sorted by arrival) into a fresh controller of the
+// given scheduler kind and returns the full observable trace. The loop
+// mirrors the system event loop: requests enqueue when their arrival is
+// reached, and time advances to min(NextWake, next arrival).
+func driveSched(t *testing.T, kind SchedKind, mit Mitigator, reqs []Request, horizon Tick) schedTrace {
+	t.Helper()
+	dev, err := dram.NewSubChannel(dram.DefaultTimings(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Scheduler = kind
+	var tr schedTrace
+	c, err := New(cfg, dev, mit, func(core int, token uint64, done Tick) {
+		tr.dones = append(tr.dones, done)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := Tick(0)
+	i := 0
+	for now < horizon {
+		for i < len(reqs) && reqs[i].Arrival <= now {
+			c.Enqueue(reqs[i])
+			i++
+		}
+		next, err := c.Process(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < len(reqs) && reqs[i].Arrival < next {
+			next = reqs[i].Arrival
+		}
+		tr.wakes = append(tr.wakes, next)
+		now = next
+	}
+	tr.acts, tr.hits = c.Activations, c.RowHits
+	tr.reads, tr.wris = c.ReadsServed, c.WritesServed
+	tr.lat = c.LatencySum
+	tr.refs = c.Device().Refreshes
+	tr.mits = c.Device().MitigationCount
+	tr.qr, tr.qw = c.QueueLens()
+	return tr
+}
+
+func randomReqs(seed int64, n int, horizon Tick) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, 0, n)
+	arr := Tick(0)
+	for i := 0; i < n; i++ {
+		arr += Tick(rng.Intn(int(horizon) / n * 2))
+		w := rng.Intn(10) < 3
+		reqs = append(reqs, Request{
+			Arrival: arr,
+			Bank:    rng.Intn(32),
+			Row:     uint32(rng.Intn(16)),
+			IsWrite: w,
+			Core:    rng.Intn(8),
+			Token:   uint64(i),
+			Notify:  !w,
+		})
+	}
+	return reqs
+}
+
+// TestSchedulerEquivalence drives the flat reference scheduler and the
+// banked scheduler over identical randomized request streams (including
+// mitigation ops, refreshes, write drains and bank conflicts) and requires
+// the complete observable behaviour — every wake time, every completion
+// time, all service counters — to match exactly.
+func TestSchedulerEquivalence(t *testing.T) {
+	horizon := 4 * dram.DefaultTimings().TREFI
+	for _, seed := range []int64{1, 2, 3, 0x5eed, 0xbeef} {
+		reqs := randomReqs(seed, 4000, horizon)
+		flat := driveSched(t, SchedFlat, &stressMit{}, reqs, horizon)
+		bank := driveSched(t, SchedBanked, &stressMit{}, reqs, horizon)
+
+		if len(flat.wakes) != len(bank.wakes) {
+			t.Fatalf("seed %d: wake count flat=%d banked=%d", seed, len(flat.wakes), len(bank.wakes))
+		}
+		for i := range flat.wakes {
+			if flat.wakes[i] != bank.wakes[i] {
+				t.Fatalf("seed %d: wake[%d] flat=%v banked=%v", seed, i, flat.wakes[i], bank.wakes[i])
+			}
+		}
+		if len(flat.dones) != len(bank.dones) {
+			t.Fatalf("seed %d: completions flat=%d banked=%d", seed, len(flat.dones), len(bank.dones))
+		}
+		for i := range flat.dones {
+			if flat.dones[i] != bank.dones[i] {
+				t.Fatalf("seed %d: done[%d] flat=%v banked=%v", seed, i, flat.dones[i], bank.dones[i])
+			}
+		}
+		if flat.schedStats != bank.schedStats {
+			t.Errorf("seed %d: stats diverge\nflat   %+v\nbanked %+v", seed, flat.schedStats, bank.schedStats)
+		}
+		if flat.reads == 0 || flat.wris == 0 || flat.mits == 0 || flat.refs == 0 {
+			t.Errorf("seed %d: degenerate run %+v", seed, flat)
+		}
+	}
+}
+
+// TestSchedulerEquivalencePlain covers the no-mitigator fast path with a
+// hotter row mix (more hits, MOP closes, drain flips).
+func TestSchedulerEquivalencePlain(t *testing.T) {
+	horizon := 2 * dram.DefaultTimings().TREFI
+	for _, seed := range []int64{7, 11} {
+		rng := rand.New(rand.NewSource(seed))
+		reqs := make([]Request, 0, 3000)
+		arr := Tick(0)
+		for i := 0; i < 3000; i++ {
+			arr += Tick(rng.Intn(40))
+			w := rng.Intn(10) < 4
+			reqs = append(reqs, Request{
+				Arrival: arr,
+				Bank:    rng.Intn(4), // few banks: heavy conflicts
+				Row:     uint32(rng.Intn(3)),
+				IsWrite: w,
+				Token:   uint64(i),
+				Notify:  !w,
+			})
+		}
+		flat := driveSched(t, SchedFlat, nil, reqs, horizon)
+		bank := driveSched(t, SchedBanked, nil, reqs, horizon)
+		if len(flat.dones) != len(bank.dones) {
+			t.Fatalf("seed %d: completions flat=%d banked=%d", seed, len(flat.dones), len(bank.dones))
+		}
+		for i := range flat.dones {
+			if flat.dones[i] != bank.dones[i] {
+				t.Fatalf("seed %d: done[%d] flat=%v banked=%v", seed, i, flat.dones[i], bank.dones[i])
+			}
+		}
+		if flat.schedStats != bank.schedStats {
+			t.Errorf("seed %d: stats diverge\nflat   %+v\nbanked %+v", seed, flat.schedStats, bank.schedStats)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package runcache provides process-wide, concurrency-safe memoization for
+// the two dominant costs of regenerating the paper's figures: synthetic
+// trace generation and unprotected-baseline simulations. Both are pure
+// functions of their run inputs (workload, cores, accesses, seed, machine
+// configuration), so every figure in a `-run all` invocation can share one
+// copy instead of re-paying the cost per (experiment × T_RH) combination.
+//
+// The cache is content-addressed: keys are comparable structs listing every
+// input that affects the result, and nothing else. Lookups are
+// singleflight-deduplicated — when several goroutines ask for the same key
+// concurrently (e.g. a figure's T_RH sweep running grid jobs in parallel),
+// exactly one computes the value and the rest block on it, so cache-hit
+// counters double as an exactly-once proof for trace generation and
+// baseline simulation.
+package runcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// TraceKey identifies one deterministic trace-set generation: the per-core
+// access streams of a rate-mode workload or an Appendix-D mix.
+type TraceKey struct {
+	// Kind is "rate" or "mix".
+	Kind string
+	// Workload is the suite workload name (rate mode).
+	Workload string
+	// MixSeed selects the Appendix-D mix (mix mode).
+	MixSeed  uint64
+	Cores    int
+	Accesses uint64
+	Seed     uint64
+}
+
+// RunKey identifies one deterministic unprotected-baseline simulation. It
+// lists every RunConfig field that influences an unprotected run's result;
+// T_RH and WindowScale are deliberately absent — they only parameterise
+// mitigators, so the baseline is shared across a figure's threshold sweep.
+type RunKey struct {
+	Trace TraceKey
+	// Machine-configuration inputs.
+	PRAC         bool
+	SmallLLC     bool
+	Audit        bool
+	Characterize bool
+	MOPCap       int
+	MaxTime      int64
+}
+
+// Access is one recorded trace event: gap non-memory instructions followed
+// by a line access. The layout is kept compact (16 bytes) because full-mode
+// trace sets run to hundreds of millions of accesses.
+type Access struct {
+	Line  uint64
+	Gap   int32
+	Write bool
+}
+
+// TraceSet is one recorded trace per core.
+type TraceSet [][]Access
+
+// accesses reports the total recorded events (the eviction cost unit).
+func (ts TraceSet) accesses() int64 {
+	var n int64
+	for _, t := range ts {
+		n += int64(len(t))
+	}
+	return n
+}
+
+// Source is the trace interface drained by Record (structurally identical
+// to cpu.Trace, redeclared to keep this package dependency-free).
+type Source interface {
+	Next() (gap int, lineAddr uint64, isWrite bool, ok bool)
+}
+
+// Record drains one generator into a replayable access slice.
+func Record(src Source) []Access {
+	out := make([]Access, 0, 4096)
+	for {
+		gap, line, w, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, Access{Line: line, Gap: int32(gap), Write: w})
+	}
+}
+
+// RecordAll drains one generator per core.
+func RecordAll(srcs []Source) TraceSet {
+	ts := make(TraceSet, len(srcs))
+	for i, s := range srcs {
+		ts[i] = Record(s)
+	}
+	return ts
+}
+
+// Replayer re-emits a recorded access stream; it implements cpu.Trace.
+// Replayers are cheap: many simulations share one immutable backing slice.
+type Replayer struct {
+	a []Access
+	i int
+}
+
+// NewReplayer wraps one recorded per-core stream.
+func NewReplayer(a []Access) *Replayer { return &Replayer{a: a} }
+
+// Next implements the trace interface.
+func (r *Replayer) Next() (gap int, lineAddr uint64, isWrite bool, ok bool) {
+	if r.i >= len(r.a) {
+		return 0, 0, false, false
+	}
+	a := r.a[r.i]
+	r.i++
+	return int(a.Gap), a.Line, a.Write, true
+}
+
+// Remaining reports accesses left (mirrors workload.Gen for tests).
+func (r *Replayer) Remaining() uint64 { return uint64(len(r.a) - r.i) }
+
+// Stats is a point-in-time snapshot of cache effectiveness. For a cache
+// whose entries were never evicted, Misses == Entries proves each key was
+// computed exactly once.
+type Stats struct {
+	TraceHits, TraceMisses, TraceEntries int64
+	TraceEvictions                       int64
+	TraceAccessesHeld                    int64
+	RunHits, RunMisses, RunEntries       int64
+}
+
+// entry is one singleflight slot: ready closes when val/err are final.
+type entry struct {
+	ready   chan struct{}
+	val     any
+	err     error
+	cost    int64
+	lastUse int64
+}
+
+// table is a keyed singleflight memo with cost-bounded LRU eviction.
+type table struct {
+	mu      sync.Mutex
+	entries map[any]*entry
+	budget  int64 // max total cost; 0 = unbounded
+	held    int64
+	clock   int64
+
+	hits, misses, evictions atomic.Int64
+}
+
+func newTable(budget int64) *table {
+	return &table{entries: make(map[any]*entry), budget: budget}
+}
+
+// do returns the memoized value for key, computing it with fn on the first
+// call. cost is charged against the table budget once fn succeeds; failed
+// computations are not retained.
+func (t *table) do(key any, fn func() (any, int64, error)) (any, error) {
+	t.mu.Lock()
+	t.clock++
+	if e, ok := t.entries[key]; ok {
+		e.lastUse = t.clock
+		t.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		t.hits.Add(1)
+		return e.val, nil
+	}
+	e := &entry{ready: make(chan struct{}), lastUse: t.clock}
+	t.entries[key] = e
+	t.mu.Unlock()
+
+	t.misses.Add(1)
+	val, cost, err := fn()
+	e.val, e.err, e.cost = val, err, cost
+	close(e.ready)
+
+	t.mu.Lock()
+	if err != nil {
+		// Do not memoize failures: a later retry recomputes.
+		delete(t.entries, key)
+	} else {
+		t.held += cost
+		t.evictLocked(key)
+	}
+	t.mu.Unlock()
+	return val, err
+}
+
+// evictLocked drops least-recently-used entries until the budget holds,
+// never evicting the just-inserted key or entries still being computed.
+func (t *table) evictLocked(justAdded any) {
+	if t.budget <= 0 {
+		return
+	}
+	for t.held > t.budget && len(t.entries) > 1 {
+		var victimKey any
+		var victim *entry
+		for k, e := range t.entries {
+			if k == justAdded || e.err != nil {
+				continue
+			}
+			select {
+			case <-e.ready:
+			default:
+				continue // in flight
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victimKey, victim = k, e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		t.held -= victim.cost
+		delete(t.entries, victimKey)
+		t.evictions.Add(1)
+	}
+}
+
+func (t *table) len() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int64(len(t.entries))
+}
+
+func (t *table) reset() {
+	t.mu.Lock()
+	t.entries = make(map[any]*entry)
+	t.held = 0
+	t.mu.Unlock()
+	t.hits.Store(0)
+	t.misses.Store(0)
+	t.evictions.Store(0)
+}
+
+// DefaultTraceBudget bounds the trace cache at 96M recorded accesses
+// (~1.5 GiB), enough for a full-mode `-run all` working set while staying
+// safe on small machines; the run-result table is unbounded (results are a
+// few hundred bytes each).
+const DefaultTraceBudget = 96 << 20
+
+// Cache memoizes trace sets and baseline run results.
+type Cache struct {
+	traces *table
+	runs   *table
+}
+
+// New builds a cache bounding held trace data at traceBudget accesses
+// (<= 0 selects DefaultTraceBudget).
+func New(traceBudget int64) *Cache {
+	if traceBudget <= 0 {
+		traceBudget = DefaultTraceBudget
+	}
+	return &Cache{traces: newTable(traceBudget), runs: newTable(0)}
+}
+
+// Traces returns the recorded trace set for key, generating it with gen on
+// the first request. Concurrent requests for the same key generate once.
+func (c *Cache) Traces(key TraceKey, gen func() (TraceSet, error)) (TraceSet, error) {
+	v, err := c.traces.do(key, func() (any, int64, error) {
+		ts, err := gen()
+		if err != nil {
+			return nil, 0, err
+		}
+		return ts, ts.accesses(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(TraceSet), nil
+}
+
+// Run returns the memoized result for key, computing it with fn on the
+// first request. The value is treated as immutable by all callers.
+func (c *Cache) Run(key RunKey, fn func() (any, error)) (any, error) {
+	return c.runs.do(key, func() (any, int64, error) {
+		v, err := fn()
+		return v, 1, err
+	})
+}
+
+// Stats snapshots hit/miss/entry counters.
+func (c *Cache) Stats() Stats {
+	c.traces.mu.Lock()
+	held := c.traces.held
+	c.traces.mu.Unlock()
+	return Stats{
+		TraceHits:         c.traces.hits.Load(),
+		TraceMisses:       c.traces.misses.Load(),
+		TraceEntries:      c.traces.len(),
+		TraceEvictions:    c.traces.evictions.Load(),
+		TraceAccessesHeld: held,
+		RunHits:           c.runs.hits.Load(),
+		RunMisses:         c.runs.misses.Load(),
+		RunEntries:        c.runs.len(),
+	}
+}
+
+// Reset drops all entries and zeroes the counters (tests, benchmarks).
+func (c *Cache) Reset() {
+	c.traces.reset()
+	c.runs.reset()
+}

@@ -1,0 +1,181 @@
+package runcache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type sliceSource struct {
+	a []Access
+	i int
+}
+
+func (s *sliceSource) Next() (int, uint64, bool, bool) {
+	if s.i >= len(s.a) {
+		return 0, 0, false, false
+	}
+	a := s.a[s.i]
+	s.i++
+	return int(a.Gap), a.Line, a.Write, true
+}
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	in := []Access{{Line: 7, Gap: 3}, {Line: 9, Gap: 0, Write: true}, {Line: 1, Gap: 42}}
+	rec := Record(&sliceSource{a: in})
+	if len(rec) != len(in) {
+		t.Fatalf("recorded %d accesses, want %d", len(rec), len(in))
+	}
+	r := NewReplayer(rec)
+	if r.Remaining() != uint64(len(in)) {
+		t.Errorf("Remaining = %d", r.Remaining())
+	}
+	for i, want := range in {
+		gap, line, w, ok := r.Next()
+		if !ok || gap != int(want.Gap) || line != want.Line || w != want.Write {
+			t.Errorf("replay[%d] = (%d,%d,%v,%v), want %+v", i, gap, line, w, ok, want)
+		}
+	}
+	if _, _, _, ok := r.Next(); ok {
+		t.Error("replayer should be exhausted")
+	}
+}
+
+func TestTracesSingleflight(t *testing.T) {
+	c := New(0)
+	key := TraceKey{Kind: "rate", Workload: "mcf", Cores: 8, Accesses: 100, Seed: 1}
+	var gens atomic.Int64
+	gate := make(chan struct{})
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			ts, err := c.Traces(key, func() (TraceSet, error) {
+				gens.Add(1)
+				return TraceSet{{{Line: 1}}}, nil
+			})
+			if err != nil || len(ts) != 1 {
+				t.Errorf("Traces: ts=%v err=%v", ts, err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if gens.Load() != 1 {
+		t.Errorf("generator ran %d times, want exactly 1", gens.Load())
+	}
+	st := c.Stats()
+	if st.TraceMisses != 1 || st.TraceHits != callers-1 || st.TraceEntries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRunMemoizesAndPatchesNothing(t *testing.T) {
+	c := New(0)
+	key := RunKey{Trace: TraceKey{Kind: "rate", Workload: "xz", Cores: 8, Accesses: 10, Seed: 2}, MOPCap: 4}
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, err := c.Run(key, func() (any, error) { calls++; return 99, nil })
+		if err != nil || v.(int) != 99 {
+			t.Fatalf("Run = %v, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times", calls)
+	}
+	st := c.Stats()
+	if st.RunMisses != 1 || st.RunHits != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestErrorsAreNotMemoized(t *testing.T) {
+	c := New(0)
+	key := TraceKey{Kind: "rate", Workload: "bad"}
+	boom := errors.New("boom")
+	if _, err := c.Traces(key, func() (TraceSet, error) { return nil, boom }); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	ok := false
+	if _, err := c.Traces(key, func() (TraceSet, error) { ok = true; return TraceSet{}, nil }); err != nil {
+		t.Fatalf("retry err = %v", err)
+	}
+	if !ok {
+		t.Error("failed computation was memoized; retry never ran")
+	}
+}
+
+func TestTraceEvictionRespectsBudget(t *testing.T) {
+	c := New(100) // budget: 100 accesses
+	mk := func(n int) TraceSet {
+		return TraceSet{make([]Access, n)}
+	}
+	for i := 0; i < 5; i++ {
+		key := TraceKey{Kind: "rate", Workload: "w", Seed: uint64(i)}
+		if _, err := c.Traces(key, func() (TraceSet, error) { return mk(40), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.TraceAccessesHeld > 100 {
+		t.Errorf("held %d accesses, budget 100", st.TraceAccessesHeld)
+	}
+	if st.TraceEvictions == 0 {
+		t.Error("expected evictions")
+	}
+	// The most recent entry must survive.
+	hit := false
+	_, err := c.Traces(TraceKey{Kind: "rate", Workload: "w", Seed: 4}, func() (TraceSet, error) {
+		return mk(40), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.TraceHits > st.TraceHits {
+		hit = true
+	}
+	if !hit {
+		t.Error("most recently inserted entry was evicted")
+	}
+}
+
+func TestResetZeroesEverything(t *testing.T) {
+	c := New(0)
+	_, _ = c.Traces(TraceKey{Workload: "a"}, func() (TraceSet, error) { return TraceSet{{{Line: 1}}}, nil })
+	_, _ = c.Run(RunKey{MOPCap: 1}, func() (any, error) { return 1, nil })
+	c.Reset()
+	st := c.Stats()
+	if st != (Stats{}) {
+		t.Errorf("stats after reset = %+v", st)
+	}
+}
+
+func TestConcurrentMixedAccess(t *testing.T) {
+	c := New(1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := TraceKey{Kind: "rate", Workload: "w", Seed: uint64(i % 7)}
+				if _, err := c.Traces(key, func() (TraceSet, error) {
+					return TraceSet{make([]Access, 10)}, nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				rk := RunKey{Trace: key, MOPCap: 4}
+				if _, err := c.Run(rk, func() (any, error) { return i, nil }); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,39 @@
+#!/bin/sh
+# bench_json.sh — run the tracked figure benchmarks cold and emit the results
+# as JSON (ns/op per run), suitable for recording in BENCH_<n>.json files to
+# compare across PRs.
+#
+# Usage: scripts/bench_json.sh [count]
+#   count  repetitions per benchmark (default 3)
+#
+# -benchtime=1x is deliberate: the run cache makes warm iterations nearly
+# free, so only the first (cold) iteration measures real simulation work.
+set -eu
+
+count=${1:-3}
+cd "$(dirname "$0")/.."
+
+out=$(go test -run '^$' -bench 'BenchmarkFig10$|BenchmarkFig19$' \
+	-benchtime=1x -count="$count" -timeout 7200s . 2>&1) || {
+	echo "$out" >&2
+	exit 1
+}
+
+echo "$out" | awk -v gover="$(go version | awk '{print $3}')" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	vals[name] = vals[name] sep[name] $3
+	sep[name] = ", "
+}
+END {
+	printf "{\n  \"go\": \"%s\",\n  \"unit\": \"ns/op\",\n  \"benchtime\": \"1x (cold, cache reset per benchmark)\",\n", gover
+	printf "  \"results\": {\n"
+	n = 0
+	for (b in vals) order[++n] = b
+	for (i = 1; i <= n; i++) {
+		b = order[i]
+		printf "    \"%s\": [%s]%s\n", b, vals[b], (i < n ? "," : "")
+	}
+	printf "  }\n}\n"
+}'

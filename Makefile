@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench-json clean
+.PHONY: check build vet test race bench-smoke bench-json profile clean
 
 check: build vet test
 
@@ -32,5 +32,14 @@ bench-smoke:
 bench-json:
 	./scripts/bench_json.sh
 
+# CPU + allocation profiles of the mitigated-run hot path (a quick Figure-19
+# reproduction, which runs every tracker against every workload). Inspect with
+#   go tool pprof -top cpu.prof
+#   go tool pprof -top -sample_index=alloc_objects mem.prof
+profile:
+	$(GO) run ./cmd/experiments -run fig19 -quick \
+		-cpuprofile cpu.prof -memprofile mem.prof
+	@echo "wrote cpu.prof and mem.prof; see EXPERIMENTS.md for how to read them"
+
 clean:
-	rm -f repro.test
+	rm -f repro.test *.prof

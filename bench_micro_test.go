@@ -1,0 +1,142 @@
+package dream
+
+// Per-subsystem microbenchmarks guarding the mitigated-run hot path: each
+// one isolates a structure the profiler shows on a mitigated figure's
+// flame graph (LLC lookups, tracker observe paths, the security auditor)
+// plus BenchmarkMitigatedRun, a single mitigated simulation over cached
+// traces — the perf canary below the figure level. Record comparisons with
+// scripts/bench_json.sh (ns/op and allocs/op, cold, -benchtime=1x); the
+// tracked numbers live in BENCH_<n>.json.
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/exp"
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+	"repro/internal/tracker"
+)
+
+// benchAddrs pre-generates a deterministic address stream so the timed loop
+// measures the subsystem, not the RNG.
+func benchAddrs(n int, seed uint64, mask uint32) []uint32 {
+	rng := sim.NewRNG(seed)
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = rng.Uint32() & mask
+	}
+	return out
+}
+
+func BenchmarkLLCAccess(b *testing.B) {
+	c, err := cache.New(cache.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := benchAddrs(1<<16, 0x11cc, 0xfffff)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Access(uint64(addrs[i&(1<<16-1)]), i&7 == 0)
+	}
+}
+
+func BenchmarkGrapheneObserve(b *testing.B) {
+	t, err := tracker.NewGraphene(tracker.GrapheneConfig{
+		TRH: 1000, Banks: 32, Mode: tracker.ModeDRFMsb, ResetPeriod: 8192,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := benchAddrs(1<<16, 0x6a9e, 0x1ffff)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.OnActivate(sim.Tick(i), i&31, rows[i&(1<<16-1)])
+		if i&0xffff == 0xffff {
+			t.OnRefresh(sim.Tick(i), 8192) // full window reset
+		}
+	}
+}
+
+func BenchmarkMOATObserve(b *testing.B) {
+	t, err := tracker.NewMOAT(tracker.MOATConfig{TRH: 1000, ResetPeriod: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := benchAddrs(1<<16, 0x30a7, 0x1ffff)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.OnActivate(sim.Tick(i), i&31, rows[i&(1<<16-1)])
+		if i&0xffff == 0xffff {
+			t.OnRefresh(sim.Tick(i), 8192) // full window reset
+		}
+	}
+}
+
+func BenchmarkAuditorObserve(b *testing.B) {
+	a := memctrl.NewAuditor(128*1024, 8192)
+	rows := benchAddrs(1<<16, 0xa0d1, 0x3fff)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.OnActivate(i&31, rows[i&(1<<16-1)])
+		switch {
+		case i&63 == 63:
+			a.OnMitigate(i&31, rows[i&(1<<16-1)])
+		case i&8191 == 8191:
+			a.OnRefresh(uint64(i >> 13)) // periodic sweep
+		}
+	}
+}
+
+// benchMitigated measures one full mitigated simulation per iteration. The
+// trace cache is warmed outside the timer so every sample is exactly one
+// scheme simulation over recorded traces (mitigated runs themselves are
+// never memoized — each iteration re-simulates).
+func benchMitigated(b *testing.B, cfg exp.RunConfig) {
+	b.Helper()
+	exp.ResetCache()
+	warm := cfg
+	warm.Scheme = exp.Baseline
+	if _, err := exp.Run(warm); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMitigatedRun is the tracked mitigated-run canary (the workload
+// that dominates full-figure wall-clock now that baselines are memoized):
+// one Fig19-style Graphene point, the same point with the security auditor
+// attached, and one PRAC/MOAT point.
+func BenchmarkMitigatedRun(b *testing.B) {
+	base := exp.RunConfig{
+		Workload: "mcf",
+		TRH:      1000,
+		Seed:     0xbe7c4,
+	}
+	b.Run("graphene", func(b *testing.B) {
+		cfg := base
+		cfg.Scheme = exp.GrapheneWith(tracker.ModeDRFMsb)
+		benchMitigated(b, cfg)
+	})
+	b.Run("graphene-audit", func(b *testing.B) {
+		cfg := base
+		cfg.Scheme = exp.GrapheneWith(tracker.ModeDRFMsb)
+		cfg.Audit = true
+		benchMitigated(b, cfg)
+	})
+	b.Run("moat", func(b *testing.B) {
+		cfg := base
+		cfg.Scheme = exp.MOAT()
+		benchMitigated(b, cfg)
+	})
+}

@@ -6,12 +6,16 @@
 //	experiments -run fig9             # reproduce Figure 9
 //	experiments -run fig15top -quick  # reduced run for a fast look
 //	experiments -run all              # everything (slow)
+//	experiments -run fig19 -quick -cpuprofile cpu.prof -memprofile mem.prof
+//	                                  # then: go tool pprof cpu.prof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -26,10 +30,39 @@ func main() {
 		wls     = flag.String("workloads", "", "comma-separated workload subset")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		nocache = flag.Bool("nocache", false, "disable the process-wide trace/baseline run cache")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 	if *nocache {
 		exp.SetCacheEnabled(false)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live data, not garbage
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
 	}
 
 	if *list || *run == "" {

@@ -40,7 +40,10 @@ type Port interface {
 type Config struct {
 	Width   int // dispatch/retire width (4)
 	ROBSize int // reorder-buffer entries (256)
-	MSHRs   int // outstanding-miss limit (16)
+	// MSHRs is the outstanding-miss limit (32; DESIGN.md §4.8 — MLP is
+	// ROB-bound for MPKI ≥ 16 either way, and 32 keeps low-MPKI workloads
+	// from artificially serialising).
+	MSHRs int
 }
 
 // DefaultConfig returns the Table-2 core configuration.

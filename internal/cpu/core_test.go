@@ -244,3 +244,14 @@ func TestIPCWithMemoryLatency(t *testing.T) {
 		t.Errorf("finish %v, want < 200ns with full overlap", ft)
 	}
 }
+
+// TestDefaultConfigPinned pins the Table-2 core parameters: 4-wide, 256
+// ROB entries, and 32 MSHRs (the deliberate deviation documented in
+// DESIGN.md §4.8 — not the 16 a DDR4-era configuration would use).
+func TestDefaultConfigPinned(t *testing.T) {
+	got := DefaultConfig()
+	want := Config{Width: 4, ROBSize: 256, MSHRs: 32}
+	if got != want {
+		t.Errorf("DefaultConfig() = %+v, want %+v", got, want)
+	}
+}

@@ -347,13 +347,16 @@ func collect(cfg RunConfig, sys *system.System) stats.RunResult {
 				r.MaxVictim = ctrl.Auditor.MaxVictim
 			}
 		}
-		for _, n := range ctrl.RowACTs {
-			r.RowsTouched++
-			if n >= 5 {
-				r.Rows5Plus++
-			} else {
-				r.Rows1to4++
-			}
+		if ctrl.RowACTs != nil {
+			ctrl.RowACTs.Range(func(_, n uint64) bool {
+				r.RowsTouched++
+				if n >= 5 {
+					r.Rows5Plus++
+				} else {
+					r.Rows1to4++
+				}
+				return true
+			})
 		}
 	}
 	n := len(sys.Controllers())

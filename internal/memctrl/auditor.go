@@ -1,5 +1,7 @@
 package memctrl
 
+import "repro/internal/rowtable"
+
 // Auditor is the security oracle of the simulator. It watches every
 // activation (including mitigation-induced dummy activations) and every
 // victim-refresh, and tracks two attacker-success metrics:
@@ -17,43 +19,64 @@ package memctrl
 type Auditor struct {
 	rows        int
 	refsPerWin  uint64
-	acts        map[uint64]uint64 // (bank,row) -> ACTs since victims last refreshed
-	damage      map[uint64]uint64 // (bank,row) -> neighbour ACTs since row refreshed
+	acts        *rowtable.Table // (bank,row) -> ACTs since victims last refreshed
+	damage      *rowtable.Table // (bank,row) -> neighbour ACTs since row refreshed
 	MaxAggr     uint64
 	MaxVictim   uint64
 	TotalACTs   uint64
 	TotalVRefrs uint64
+
+	// actsBySlot/damageBySlot index the live key set by refresh slot
+	// (row mod refsPerWin), appended on insertion. A REF then deletes only
+	// its own slot's keys instead of predicate-scanning every tracked row —
+	// the sweep that used to dominate audited runs. Buckets may hold stale
+	// keys (already cleared by a mitigation); Delete is a no-op for those.
+	actsBySlot   [][]uint64
+	damageBySlot [][]uint64
 }
 
 // NewAuditor builds an auditor for banks of rows rows, with refsPerWindow
 // REF commands per refresh window (8192 for DDR5).
 func NewAuditor(rows int, refsPerWindow uint64) *Auditor {
-	return &Auditor{
+	a := &Auditor{
 		rows:       rows,
 		refsPerWin: refsPerWindow,
-		acts:       make(map[uint64]uint64),
-		damage:     make(map[uint64]uint64),
+		acts:       rowtable.New(1 << 12),
+		damage:     rowtable.New(1 << 12),
 	}
+	if refsPerWindow > 0 {
+		a.actsBySlot = make([][]uint64, refsPerWindow)
+		a.damageBySlot = make([][]uint64, refsPerWindow)
+	}
+	return a
 }
 
-func key(bank int, row uint32) uint64 { return uint64(bank)<<32 | uint64(row) }
+func key(bank int, row uint32) uint64 { return rowtable.Key(bank, row) }
 
 // OnActivate records one activation of (bank, row).
 func (a *Auditor) OnActivate(bank int, row uint32) {
 	a.TotalACTs++
 	k := key(bank, row)
-	a.acts[k]++
-	if a.acts[k] > a.MaxAggr {
-		a.MaxAggr = a.acts[k]
+	n, fresh := a.acts.IncrReport(k, 1)
+	if n > a.MaxAggr {
+		a.MaxAggr = n
+	}
+	if fresh && a.actsBySlot != nil {
+		slot := uint64(row) % a.refsPerWin
+		a.actsBySlot[slot] = append(a.actsBySlot[slot], k)
 	}
 	for _, v := range [2]int64{int64(row) - 1, int64(row) + 1} {
 		if v < 0 || v >= int64(a.rows) {
 			continue
 		}
 		vk := key(bank, uint32(v))
-		a.damage[vk]++
-		if a.damage[vk] > a.MaxVictim {
-			a.MaxVictim = a.damage[vk]
+		d, fresh := a.damage.IncrReport(vk, 1)
+		if d > a.MaxVictim {
+			a.MaxVictim = d
+		}
+		if fresh && a.damageBySlot != nil {
+			slot := uint64(uint32(v)) % a.refsPerWin
+			a.damageBySlot[slot] = append(a.damageBySlot[slot], vk)
 		}
 	}
 }
@@ -64,7 +87,7 @@ func (a *Auditor) OnActivate(bank int, row uint32) {
 // resets.
 func (a *Auditor) OnMitigate(bank int, row uint32) {
 	a.TotalVRefrs++
-	delete(a.acts, key(bank, row))
+	a.acts.Delete(key(bank, row))
 	for d := int64(-2); d <= 2; d++ {
 		if d == 0 {
 			continue
@@ -73,7 +96,7 @@ func (a *Auditor) OnMitigate(bank int, row uint32) {
 		if v < 0 || v >= int64(a.rows) {
 			continue
 		}
-		delete(a.damage, key(bank, uint32(v)))
+		a.damage.Delete(key(bank, uint32(v)))
 		// A refresh of row v also clears v's own contribution windows: its
 		// neighbours' aggressor counts no longer threaten v, which is what
 		// damage[v]=0 expresses. Aggressor counts of other rows stand.
@@ -87,21 +110,26 @@ func (a *Auditor) OnRefresh(refIndex uint64) {
 		return
 	}
 	slot := refIndex % a.refsPerWin
-	for k := range a.damage {
-		if uint64(uint32(k))%a.refsPerWin == slot {
-			delete(a.damage, k)
-		}
+	for _, k := range a.damageBySlot[slot] {
+		a.damage.Delete(k)
 	}
-	for k := range a.acts {
-		// Refreshing row r cleans r as a victim; as an aggressor its count
-		// matters to neighbours, which are refreshed in adjacent slots. We
-		// conservatively reset an aggressor only when both its neighbours
-		// have been refreshed, approximated by its own slot passing.
-		if uint64(uint32(k))%a.refsPerWin == slot {
-			delete(a.acts, k)
-		}
+	a.damageBySlot[slot] = a.damageBySlot[slot][:0]
+	// Refreshing row r cleans r as a victim; as an aggressor its count
+	// matters to neighbours, which are refreshed in adjacent slots. We
+	// conservatively reset an aggressor only when both its neighbours
+	// have been refreshed, approximated by its own slot passing.
+	for _, k := range a.actsBySlot[slot] {
+		a.acts.Delete(k)
 	}
+	a.actsBySlot[slot] = a.actsBySlot[slot][:0]
 }
 
 // Rows tracked (for tests).
-func (a *Auditor) Tracked() (aggr, victims int) { return len(a.acts), len(a.damage) }
+func (a *Auditor) Tracked() (aggr, victims int) { return a.acts.Len(), a.damage.Len() }
+
+// Damage reports the accumulated neighbour activations of (bank,row) since
+// it was last refreshed (tests).
+func (a *Auditor) Damage(bank int, row uint32) uint64 {
+	v, _ := a.damage.Get(key(bank, row))
+	return v
+}

@@ -1,0 +1,121 @@
+package memctrl
+
+// Equivalence proof for the auditor's map→rowtable conversion: refAuditor
+// re-implements the original map-backed auditor verbatim (including its
+// per-REF predicate sweep over every tracked row), and the test drives both
+// with identical randomized activate/mitigate/refresh streams.
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+type refAuditor struct {
+	rows       int
+	refsPerWin uint64
+	acts       map[uint64]uint64
+	damage     map[uint64]uint64
+	MaxAggr    uint64
+	MaxVictim  uint64
+}
+
+func newRefAuditor(rows int, refsPerWindow uint64) *refAuditor {
+	return &refAuditor{
+		rows:       rows,
+		refsPerWin: refsPerWindow,
+		acts:       make(map[uint64]uint64),
+		damage:     make(map[uint64]uint64),
+	}
+}
+
+func (a *refAuditor) OnActivate(bank int, row uint32) {
+	k := key(bank, row)
+	a.acts[k]++
+	if a.acts[k] > a.MaxAggr {
+		a.MaxAggr = a.acts[k]
+	}
+	for _, v := range [2]int64{int64(row) - 1, int64(row) + 1} {
+		if v < 0 || v >= int64(a.rows) {
+			continue
+		}
+		vk := key(bank, uint32(v))
+		a.damage[vk]++
+		if a.damage[vk] > a.MaxVictim {
+			a.MaxVictim = a.damage[vk]
+		}
+	}
+}
+
+func (a *refAuditor) OnMitigate(bank int, row uint32) {
+	delete(a.acts, key(bank, row))
+	for d := int64(-2); d <= 2; d++ {
+		if d == 0 {
+			continue
+		}
+		v := int64(row) + d
+		if v < 0 || v >= int64(a.rows) {
+			continue
+		}
+		delete(a.damage, key(bank, uint32(v)))
+	}
+}
+
+func (a *refAuditor) OnRefresh(refIndex uint64) {
+	slot := refIndex % a.refsPerWin
+	for k := range a.damage {
+		if uint64(uint32(k))%a.refsPerWin == slot {
+			delete(a.damage, k)
+		}
+	}
+	for k := range a.acts {
+		if uint64(uint32(k))%a.refsPerWin == slot {
+			delete(a.acts, k)
+		}
+	}
+}
+
+// TestAuditorEquivalence drives randomized activation/mitigation/refresh
+// streams (hammering a small row range so counts, deletes, and sweeps all
+// interact) and requires the attacker-success metrics and the tracked-row
+// populations to match the reference at every step.
+func TestAuditorEquivalence(t *testing.T) {
+	const rows, refsWin = 512, 8
+	a := NewAuditor(rows, refsWin)
+	ref := newRefAuditor(rows, refsWin)
+	rng := sim.NewRNG(0xa0d17)
+	refIdx := uint64(0)
+	for op := 0; op < 300_000; op++ {
+		bank := int(rng.Uint32() & 3)
+		row := rng.Uint32() % rows
+		switch rng.Uint32() % 32 {
+		case 0:
+			a.OnMitigate(bank, row)
+			ref.OnMitigate(bank, row)
+		case 1:
+			a.OnRefresh(refIdx)
+			ref.OnRefresh(refIdx)
+			refIdx++
+		default:
+			a.OnActivate(bank, row)
+			ref.OnActivate(bank, row)
+		}
+		if a.MaxAggr != ref.MaxAggr || a.MaxVictim != ref.MaxVictim {
+			t.Fatalf("op %d: (MaxAggr,MaxVictim) = (%d,%d), reference (%d,%d)",
+				op, a.MaxAggr, a.MaxVictim, ref.MaxAggr, ref.MaxVictim)
+		}
+		aggr, vict := a.Tracked()
+		if aggr != len(ref.acts) || vict != len(ref.damage) {
+			t.Fatalf("op %d: tracked = (%d,%d), reference (%d,%d)",
+				op, aggr, vict, len(ref.acts), len(ref.damage))
+		}
+	}
+	// Per-row damage must agree exactly, both directions.
+	for b := 0; b < 4; b++ {
+		for r := uint32(0); r < rows; r++ {
+			if got, want := a.Damage(b, r), ref.damage[key(b, r)]; got != want {
+				t.Fatalf("damage(%d,%d) = %d, reference %d", b, r, got, want)
+			}
+		}
+	}
+}

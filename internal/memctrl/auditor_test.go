@@ -73,8 +73,7 @@ func TestAuditorDamageBound(t *testing.T) {
 		}
 		for v := uint32(1); v < 63; v++ {
 			limit := perRow[v-1] + perRow[v+1]
-			k := uint64(0)<<32 | uint64(v)
-			if a.damage[k] > limit {
+			if a.Damage(0, v) > limit {
 				return false
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
+	"repro/internal/rowtable"
 	"repro/internal/sim"
 )
 
@@ -89,9 +90,9 @@ type Controller struct {
 	// Auditor is the optional security oracle (nil when disabled).
 	Auditor *Auditor
 
-	// RowACTs counts demand activations per (bank<<32|row) when
+	// RowACTs counts demand activations per packed (bank,row) key when
 	// characterisation is enabled (nil otherwise).
-	RowACTs map[uint64]uint64
+	RowACTs *rowtable.Table
 
 	// Stats.
 	Activations   uint64
@@ -136,7 +137,7 @@ func New(cfg Config, dev *dram.SubChannel, mit Mitigator,
 		c.Auditor = NewAuditor(1<<31, cfg.RefsPerWindow)
 	}
 	if cfg.EnableCharacterization {
-		c.RowACTs = make(map[uint64]uint64)
+		c.RowACTs = rowtable.New(1 << 12)
 	}
 	return c, nil
 }
@@ -274,7 +275,7 @@ func (c *Controller) service(r Request, start Tick) error {
 			c.Auditor.OnActivate(b, r.Row)
 		}
 		if c.RowACTs != nil {
-			c.RowACTs[uint64(b)<<32|uint64(r.Row)]++
+			c.RowACTs.Incr(rowtable.Key(b, r.Row), 1)
 		}
 		c.Activations++
 		c.sampleOnClose[b] = dec.Sample

@@ -150,8 +150,10 @@ func newBankedSched(c *Controller, banks int) *bankedSched {
 	s.reads.banks = make([]bankQ, banks)
 	s.writes.banks = make([]bankQ, banks)
 	for b := range s.reads.banks {
-		s.reads.banks[b] = bankQ{hitLocal: sim.Forever, miss: sim.Forever}
-		s.writes.banks[b] = bankQ{hitLocal: sim.Forever, miss: sim.Forever}
+		// Pre-size each FIFO: queues churn constantly but stay shallow, so a
+		// small initial capacity absorbs nearly all append growth.
+		s.reads.banks[b] = bankQ{reqs: make([]Request, 0, 16), hitLocal: sim.Forever, miss: sim.Forever}
+		s.writes.banks[b] = bankQ{reqs: make([]Request, 0, 16), hitLocal: sim.Forever, miss: sim.Forever}
 	}
 	return s
 }

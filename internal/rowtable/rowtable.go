@@ -1,0 +1,254 @@
+// Package rowtable provides the shared row-counter kernel of the
+// simulator's mitigated-run hot path: a flat, open-addressed hash table
+// from a packed (bank,row) key to a 64-bit counter.
+//
+// Every Rowhammer tracker in this repo — Graphene's Misra–Gries CAM, MOAT's
+// PRAC counters, the security auditor's aggressor/damage tables, and the
+// controller's characterisation counts — needs the same tiny dictionary:
+// integer keys, integer values, one increment or index update per DRAM
+// activation, and a bulk reset once per refresh window. Go's built-in map
+// pays for genericity on that path (hashing through the runtime, bucket
+// chains, per-window reallocation or keyed deletes). This table instead
+// uses linear probing over three parallel slices with power-of-two sizing,
+// Fibonacci hashing, backward-shift deletion, and an epoch-based O(1)
+// Reset, so steady-state operation allocates nothing and a window reset is
+// a single counter bump.
+//
+// Determinism: iteration (Range, DeleteIf) visits slots in table order,
+// which is a pure function of the insertion history — two runs that
+// perform the same operations observe the same order. Nothing in this
+// package reads global state or randomises hashing.
+//
+// The table is not safe for concurrent use; each controller, tracker bank,
+// and auditor owns its own instance, matching the simulator's
+// one-goroutine-per-run execution model.
+package rowtable
+
+// maxLoadNum/maxLoadDen is the grow threshold (3/4). Linear probing stays
+// short-chained below it, and sizing New's hint against it means callers
+// with a known worst-case population (e.g. Graphene's fixed entry count)
+// never rehash.
+const (
+	maxLoadNum = 3
+	maxLoadDen = 4
+	minSlots   = 16
+)
+
+// Key packs (bank, row) into the table's 64-bit key space.
+func Key(bank int, row uint32) uint64 { return uint64(bank)<<32 | uint64(row) }
+
+// Bank recovers the bank index from a packed key.
+func Bank(k uint64) int { return int(k >> 32) }
+
+// Row recovers the row address from a packed key.
+func Row(k uint64) uint32 { return uint32(k) }
+
+// Table is an open-addressed (key → counter) table. The zero value is not
+// ready for use; call New.
+type Table struct {
+	keys   []uint64
+	vals   []uint64
+	epochs []uint32 // slot i is live iff epochs[i] == epoch
+
+	epoch  uint32
+	mask   uint64
+	shift  uint8 // 64 - log2(len(keys)), for Fibonacci hashing
+	live   int
+	growAt int
+
+	scratch []uint64 // DeleteIf staging, reused across calls
+}
+
+// New builds a table that can hold at least hint live entries without
+// rehashing (hint <= 0 selects the minimum size).
+func New(hint int) *Table {
+	slots := minSlots
+	for slots*maxLoadNum/maxLoadDen < hint {
+		slots <<= 1
+	}
+	t := &Table{epoch: 1}
+	t.alloc(slots)
+	return t
+}
+
+func (t *Table) alloc(slots int) {
+	t.keys = make([]uint64, slots)
+	t.vals = make([]uint64, slots)
+	t.epochs = make([]uint32, slots)
+	t.mask = uint64(slots - 1)
+	shift := uint8(64)
+	for s := slots; s > 1; s >>= 1 {
+		shift--
+	}
+	t.shift = shift
+	t.growAt = slots * maxLoadNum / maxLoadDen
+}
+
+// home is the preferred slot of key k (Fibonacci multiplicative hashing:
+// the high bits of k*φ⁻¹ are well mixed even for densely packed keys).
+func (t *Table) home(k uint64) uint64 {
+	return (k * 0x9E3779B97F4A7C15) >> t.shift
+}
+
+// find returns the slot holding k, or the empty slot where k would be
+// inserted. The table is never full (grow runs below saturation), so the
+// probe always terminates.
+func (t *Table) find(k uint64) (uint64, bool) {
+	i := t.home(k)
+	for {
+		if t.epochs[i] != t.epoch {
+			return i, false
+		}
+		if t.keys[i] == k {
+			return i, true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Len reports the number of live entries.
+func (t *Table) Len() int { return t.live }
+
+// Get returns the counter for k and whether it is present.
+func (t *Table) Get(k uint64) (uint64, bool) {
+	i, ok := t.find(k)
+	if !ok {
+		return 0, false
+	}
+	return t.vals[i], true
+}
+
+// Incr adds delta to k's counter, inserting it at delta if absent, and
+// returns the new value.
+func (t *Table) Incr(k, delta uint64) uint64 {
+	v, _ := t.IncrReport(k, delta)
+	return v
+}
+
+// IncrReport adds delta like Incr and additionally reports whether the key
+// was newly inserted (callers maintaining side indexes over the live key
+// set, like the auditor's refresh-slot buckets, key off this).
+func (t *Table) IncrReport(k, delta uint64) (uint64, bool) {
+	i, ok := t.find(k)
+	if ok {
+		t.vals[i] += delta
+		return t.vals[i], false
+	}
+	i = t.insertAt(i, k)
+	t.vals[i] = delta
+	return delta, true
+}
+
+// Set stores v for k, inserting if absent.
+func (t *Table) Set(k, v uint64) {
+	i, ok := t.find(k)
+	if !ok {
+		i = t.insertAt(i, k)
+	}
+	t.vals[i] = v
+}
+
+// insertAt claims empty slot i for k, growing (and re-probing) if the load
+// threshold is reached. It returns the slot actually used.
+func (t *Table) insertAt(i uint64, k uint64) uint64 {
+	if t.live >= t.growAt {
+		t.grow()
+		i, _ = t.find(k)
+	}
+	t.keys[i] = k
+	t.epochs[i] = t.epoch
+	t.live++
+	return i
+}
+
+// grow doubles the table and rehashes the live epoch's entries. Stale
+// (pre-Reset) slots are dropped, so repeated Reset cycles never inflate the
+// backing arrays.
+func (t *Table) grow() {
+	oldKeys, oldVals, oldEpochs, oldEpoch := t.keys, t.vals, t.epochs, t.epoch
+	t.alloc(len(oldKeys) * 2)
+	t.epoch = 1
+	t.live = 0
+	for i, e := range oldEpochs {
+		if e != oldEpoch {
+			continue
+		}
+		j, _ := t.find(oldKeys[i])
+		t.keys[j] = oldKeys[i]
+		t.vals[j] = oldVals[i]
+		t.epochs[j] = t.epoch
+		t.live++
+	}
+}
+
+// Delete removes k, reporting whether it was present. Removal uses
+// backward-shift compaction, so probe chains stay tombstone-free and
+// lookups never degrade over a run's lifetime.
+func (t *Table) Delete(k uint64) bool {
+	i, ok := t.find(k)
+	if !ok {
+		return false
+	}
+	// Shift later cluster members back over the hole whenever the hole
+	// lies on their probe path (their displacement reaches back to it).
+	j := i
+	for {
+		j = (j + 1) & t.mask
+		if t.epochs[j] != t.epoch {
+			break
+		}
+		h := t.home(t.keys[j])
+		if ((j - h) & t.mask) >= ((j - i) & t.mask) {
+			t.keys[i] = t.keys[j]
+			t.vals[i] = t.vals[j]
+			i = j
+		}
+	}
+	t.epochs[i] = 0
+	t.live--
+	return true
+}
+
+// Reset empties the table in O(1) by advancing the epoch; backing arrays
+// and capacity are retained, so the next window rebuilds without
+// allocating. (On the rare epoch wrap the stale marks are cleared
+// eagerly.)
+func (t *Table) Reset() {
+	t.epoch++
+	if t.epoch == 0 {
+		for i := range t.epochs {
+			t.epochs[i] = 0
+		}
+		t.epoch = 1
+	}
+	t.live = 0
+}
+
+// Range calls f for every live entry in deterministic table order until f
+// returns false.
+func (t *Table) Range(f func(k, v uint64) bool) {
+	for i, e := range t.epochs {
+		if e != t.epoch {
+			continue
+		}
+		if !f(t.keys[i], t.vals[i]) {
+			return
+		}
+	}
+}
+
+// DeleteIf removes every entry for which pred returns true. Matching keys
+// are staged in a reusable scratch buffer and deleted afterwards, so the
+// sweep sees each live entry exactly once even though backward-shift
+// deletion moves entries between slots.
+func (t *Table) DeleteIf(pred func(k, v uint64) bool) {
+	t.scratch = t.scratch[:0]
+	for i, e := range t.epochs {
+		if e == t.epoch && pred(t.keys[i], t.vals[i]) {
+			t.scratch = append(t.scratch, t.keys[i])
+		}
+	}
+	for _, k := range t.scratch {
+		t.Delete(k)
+	}
+}

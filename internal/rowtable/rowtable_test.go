@@ -1,0 +1,256 @@
+package rowtable
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestKeyPacking(t *testing.T) {
+	k := Key(31, 0xdeadbeef)
+	if Bank(k) != 31 || Row(k) != 0xdeadbeef {
+		t.Fatalf("roundtrip failed: bank=%d row=%#x", Bank(k), Row(k))
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	tb := New(0)
+	if v := tb.Incr(Key(1, 7), 1); v != 1 {
+		t.Fatalf("first Incr = %d", v)
+	}
+	if v := tb.Incr(Key(1, 7), 2); v != 3 {
+		t.Fatalf("second Incr = %d", v)
+	}
+	if v, ok := tb.Get(Key(1, 7)); !ok || v != 3 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if _, ok := tb.Get(Key(2, 7)); ok {
+		t.Fatal("absent key reported present")
+	}
+	tb.Set(Key(1, 7), 0)
+	if v, ok := tb.Get(Key(1, 7)); !ok || v != 0 {
+		t.Fatalf("Set(0) must keep the entry resident: %d,%v", v, ok)
+	}
+	if !tb.Delete(Key(1, 7)) || tb.Delete(Key(1, 7)) {
+		t.Fatal("Delete present/absent semantics wrong")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+// TestCollisionChains forces many keys into one home slot (all keys
+// congruent under the hash's view of a tiny table) and checks lookups and
+// backward-shift deletes keep every chain member reachable.
+func TestCollisionChains(t *testing.T) {
+	tb := New(0) // 16 slots
+	// With 16 slots only the top 4 bits of the mixed key matter; dense
+	// sequential rows collide frequently.
+	keys := make([]uint64, 10)
+	for i := range keys {
+		keys[i] = Key(0, uint32(i))
+		tb.Incr(keys[i], uint64(i+1))
+	}
+	// Delete from the middle of chains, verifying survivors after each.
+	for del := 0; del < len(keys); del += 2 {
+		if !tb.Delete(keys[del]) {
+			t.Fatalf("Delete(%d) failed", del)
+		}
+		for i, k := range keys {
+			v, ok := tb.Get(k)
+			wantOK := i%2 == 1 || i > del
+			if ok != wantOK {
+				t.Fatalf("after deleting %d: key %d present=%v want %v", del, i, ok, wantOK)
+			}
+			if ok && v != uint64(i+1) {
+				t.Fatalf("after deleting %d: key %d value %d", del, i, v)
+			}
+		}
+	}
+}
+
+func TestEpochReset(t *testing.T) {
+	tb := New(8)
+	for i := uint32(0); i < 8; i++ {
+		tb.Incr(Key(0, i), 5)
+	}
+	slots := len(tb.keys)
+	tb.Reset()
+	if tb.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", tb.Len())
+	}
+	for i := uint32(0); i < 8; i++ {
+		if _, ok := tb.Get(Key(0, i)); ok {
+			t.Fatalf("row %d survived Reset", i)
+		}
+	}
+	// Stale slots must be treated as free: refilling the same keys after a
+	// reset reuses the backing arrays with no growth.
+	for cycle := 0; cycle < 100; cycle++ {
+		for i := uint32(0); i < 8; i++ {
+			if v := tb.Incr(Key(0, i), 1); v != 1 {
+				t.Fatalf("cycle %d: counter not reset: %d", cycle, v)
+			}
+		}
+		tb.Reset()
+	}
+	if len(tb.keys) != slots {
+		t.Fatalf("backing array grew across resets: %d -> %d slots", slots, len(tb.keys))
+	}
+}
+
+func TestEpochWrap(t *testing.T) {
+	tb := New(0)
+	tb.Incr(Key(0, 1), 3)
+	tb.epoch = ^uint32(0) - 1 // force an imminent wrap; entry becomes stale
+	tb.Reset()
+	tb.Incr(Key(0, 2), 4)
+	tb.Reset() // epoch wraps to 0 -> eager clear, epoch back to 1
+	if tb.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d", tb.epoch)
+	}
+	if _, ok := tb.Get(Key(0, 2)); ok {
+		t.Fatal("entry survived wrapping Reset")
+	}
+	// Slots written under high epochs must not resurrect at epoch 1.
+	if _, ok := tb.Get(Key(0, 1)); ok {
+		t.Fatal("pre-wrap entry resurrected")
+	}
+	if v := tb.Incr(Key(0, 1), 1); v != 1 {
+		t.Fatalf("post-wrap Incr = %d", v)
+	}
+}
+
+func TestGrowthRehash(t *testing.T) {
+	tb := New(0)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		tb.Incr(Key(i&31, uint32(i)), uint64(i))
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len = %d, want %d", tb.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tb.Get(Key(i&31, uint32(i)))
+		if !ok || v != uint64(i) {
+			t.Fatalf("key %d: %d,%v after growth", i, v, ok)
+		}
+	}
+}
+
+func TestDeleteIfSweep(t *testing.T) {
+	tb := New(0)
+	for i := uint32(0); i < 1000; i++ {
+		tb.Incr(Key(3, i), uint64(i))
+	}
+	tb.DeleteIf(func(k, v uint64) bool { return Row(k)%8 == 5 })
+	for i := uint32(0); i < 1000; i++ {
+		_, ok := tb.Get(Key(3, i))
+		if want := i%8 != 5; ok != want {
+			t.Fatalf("row %d present=%v want %v", i, ok, want)
+		}
+	}
+	if tb.Len() != 875 {
+		t.Fatalf("Len = %d, want 875", tb.Len())
+	}
+}
+
+// TestRandomizedAgainstMap drives identical operation streams (increments,
+// overwrites, deletes, predicate sweeps, epoch resets) into a Table and a
+// Go map and requires identical contents after every step — the kernel's
+// own bit-equivalence proof.
+func TestRandomizedAgainstMap(t *testing.T) {
+	rng := sim.NewRNG(0x70b1e)
+	tb := New(0)
+	model := map[uint64]uint64{}
+	for op := 0; op < 200_000; op++ {
+		k := Key(int(rng.Uint32()&7), rng.Uint32()&0x3ff)
+		switch rng.Uint32() % 100 {
+		case 0: // full reset
+			tb.Reset()
+			model = map[uint64]uint64{}
+		case 1, 2: // delete
+			got := tb.Delete(k)
+			_, want := model[k]
+			if got != want {
+				t.Fatalf("op %d: Delete=%v want %v", op, got, want)
+			}
+			delete(model, k)
+		case 3, 4: // overwrite
+			v := uint64(rng.Uint32() & 0xff)
+			tb.Set(k, v)
+			model[k] = v
+		case 5: // predicate sweep (the auditor's OnRefresh shape)
+			slot := uint64(rng.Uint32() & 7)
+			tb.DeleteIf(func(k, v uint64) bool { return uint64(Row(k))%8 == slot })
+			for mk := range model {
+				if uint64(Row(mk))%8 == slot {
+					delete(model, mk)
+				}
+			}
+		default: // increment (the hot path)
+			got := tb.Incr(k, 1)
+			model[k]++
+			if got != model[k] {
+				t.Fatalf("op %d: Incr=%d want %d", op, got, model[k])
+			}
+		}
+		if tb.Len() != len(model) {
+			t.Fatalf("op %d: Len=%d want %d", op, tb.Len(), len(model))
+		}
+	}
+	// Final full comparison, both directions.
+	n := 0
+	tb.Range(func(k, v uint64) bool {
+		if model[k] != v {
+			t.Fatalf("final: key %#x = %d, model %d", k, v, model[k])
+		}
+		n++
+		return true
+	})
+	if n != len(model) {
+		t.Fatalf("Range visited %d entries, model has %d", n, len(model))
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tb := New(0)
+	for i := uint32(0); i < 10; i++ {
+		tb.Incr(Key(0, i), 1)
+	}
+	seen := 0
+	tb.Range(func(k, v uint64) bool { seen++; return seen < 3 })
+	if seen != 3 {
+		t.Fatalf("Range visited %d entries after early stop", seen)
+	}
+}
+
+// BenchmarkIncr measures the steady-state hot path against the map baseline
+// shape (see BenchmarkMapIncr).
+func BenchmarkIncr(b *testing.B) {
+	tb := New(1 << 14)
+	rng := sim.NewRNG(9)
+	keys := make([]uint64, 1<<14)
+	for i := range keys {
+		keys[i] = Key(int(rng.Uint32()&31), rng.Uint32()&0x3fff)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Incr(keys[i&(1<<14-1)], 1)
+	}
+}
+
+func BenchmarkMapIncr(b *testing.B) {
+	m := make(map[uint64]uint64, 1<<14)
+	rng := sim.NewRNG(9)
+	keys := make([]uint64, 1<<14)
+	for i := range keys {
+		keys[i] = Key(int(rng.Uint32()&31), rng.Uint32()&0x3fff)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m[keys[i&(1<<14-1)]]++
+	}
+}

@@ -6,7 +6,6 @@
 package system
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/addrmap"
@@ -64,10 +63,15 @@ type completion struct {
 	token uint64
 }
 
+// completionHeap is a hand-rolled binary min-heap. container/heap would box
+// every completion through interface{} on Push and Pop — two heap
+// allocations per demand load, the single largest allocation source on the
+// mitigated-run hot path. Less is a total order (no two completions share
+// (at, core, token)), so pop order — and hence the simulation — is
+// independent of the heap implementation.
 type completionHeap []completion
 
-func (h completionHeap) Len() int { return len(h) }
-func (h completionHeap) Less(i, j int) bool {
+func (h completionHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
@@ -76,14 +80,43 @@ func (h completionHeap) Less(i, j int) bool {
 	}
 	return h[i].token < h[j].token
 }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *completionHeap) push(c completion) {
+	*h = append(*h, c)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+func (h *completionHeap) pop() completion {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return top
 }
 
 // System is the assembled machine.
@@ -204,7 +237,7 @@ func (s *System) enqueue(lineAddr uint64, when Tick, isWrite bool, core int, tok
 
 // onDone receives demand-load completions from controllers.
 func (s *System) onDone(core int, token uint64, done Tick) {
-	heap.Push(&s.pending, completion{at: done, core: core, token: token})
+	s.pending.push(completion{at: done, core: core, token: token})
 }
 
 // Run executes until every core finishes its trace (or MaxTime).
@@ -233,7 +266,7 @@ func (s *System) Run() error {
 		// Deliver due completions first so cores can issue new requests
 		// before controllers decide what to do at this instant.
 		for len(s.pending) > 0 && s.pending[0].at <= t {
-			c := heap.Pop(&s.pending).(completion)
+			c := s.pending.pop()
 			s.cores[c.core].Complete(c.token, c.at)
 		}
 		for i, ctrl := range s.ctrls {

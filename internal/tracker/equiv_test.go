@@ -1,0 +1,238 @@
+package tracker
+
+// Equivalence proofs for the map→rowtable conversions: each reference model
+// below re-implements the pre-rowtable map semantics verbatim, and the
+// tests drive model and production tracker with identical randomized ACT
+// streams (including window resets), requiring identical decisions at every
+// step. Together with exp.TestMitigatedRunsDeterministic this pins the
+// conversion to bit-identical RunResults.
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// refSSTable is the original map-backed space-saving table (heap of
+// entries plus row→index map), kept as the Misra–Gries reference.
+type refSSTable struct {
+	cap  int
+	heap []ssEntry
+	pos  map[uint32]int
+}
+
+func newRefSSTable(capacity int) *refSSTable {
+	return &refSSTable{cap: capacity, pos: make(map[uint32]int, capacity)}
+}
+
+func (t *refSSTable) clear() {
+	t.heap = t.heap[:0]
+	for k := range t.pos {
+		delete(t.pos, k)
+	}
+}
+
+func (t *refSSTable) touch(row uint32) uint32 {
+	if i, ok := t.pos[row]; ok {
+		t.heap[i].count++
+		t.siftDown(i)
+		return t.heap[t.pos[row]].count
+	}
+	if len(t.heap) < t.cap {
+		t.heap = append(t.heap, ssEntry{row: row, count: 1})
+		i := len(t.heap) - 1
+		t.pos[row] = i
+		t.siftUp(i)
+		return 1
+	}
+	min := &t.heap[0]
+	delete(t.pos, min.row)
+	min.row = row
+	min.count++
+	t.pos[row] = 0
+	t.siftDown(0)
+	return t.heap[t.pos[row]].count
+}
+
+func (t *refSSTable) reset(row uint32) {
+	if i, ok := t.pos[row]; ok {
+		t.heap[i].count = 0
+		t.siftUp(i)
+	}
+}
+
+func (t *refSSTable) count(row uint32) uint32 {
+	if i, ok := t.pos[row]; ok {
+		return t.heap[i].count
+	}
+	return 0
+}
+
+func (t *refSSTable) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].count <= t.heap[i].count {
+			return
+		}
+		t.swap(i, parent)
+		i = parent
+	}
+}
+
+func (t *refSSTable) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && t.heap[l].count < t.heap[small].count {
+			small = l
+		}
+		if r < n && t.heap[r].count < t.heap[small].count {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		t.swap(i, small)
+		i = small
+	}
+}
+
+func (t *refSSTable) swap(i, j int) {
+	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
+	t.pos[t.heap[i].row] = i
+	t.pos[t.heap[j].row] = j
+}
+
+// TestSSTableEquivalence drives the production ssTable and the map
+// reference with an identical randomized stream of touches, mitigation
+// resets, and window clears; estimates and membership must agree after
+// every operation.
+func TestSSTableEquivalence(t *testing.T) {
+	rng := sim.NewRNG(0x55ab1e)
+	var got ssTable
+	got.init(64)
+	want := newRefSSTable(64)
+	for op := 0; op < 300_000; op++ {
+		row := rng.Uint32() & 0xff // 256 rows over 64 entries: heavy spill
+		switch rng.Uint32() % 64 {
+		case 0:
+			got.clear()
+			want.clear()
+		case 1, 2:
+			got.reset(row)
+			want.reset(row)
+		default:
+			g := got.touch(row)
+			w := want.touch(row)
+			if g != w {
+				t.Fatalf("op %d: touch(%d) = %d, reference %d", op, row, g, w)
+			}
+		}
+		if g, w := got.count(row), want.count(row); g != w {
+			t.Fatalf("op %d: count(%d) = %d, reference %d", op, row, g, w)
+		}
+		_, gOK := got.pos.Get(uint64(row))
+		_, wOK := want.pos[row]
+		if gOK != wOK {
+			t.Fatalf("op %d: residency(%d) = %v, reference %v", op, row, gOK, wOK)
+		}
+	}
+	// Full-table sweep at the end: every row estimate identical.
+	for row := uint32(0); row < 256; row++ {
+		if g, w := got.count(row), want.count(row); g != w {
+			t.Fatalf("final: count(%d) = %d, reference %d", row, g, w)
+		}
+	}
+}
+
+// refMOATCounts mirrors the pre-rowtable MOAT counter map.
+type refMOATCounts struct {
+	eth    uint32
+	counts map[uint64]uint32
+}
+
+func (m *refMOATCounts) observe(bank int, row uint32) bool {
+	k := uint64(bank)<<32 | uint64(row)
+	m.counts[k]++
+	if m.counts[k] < m.eth {
+		return false
+	}
+	m.counts[k] = 0
+	return true
+}
+
+func (m *refMOATCounts) reset() { m.counts = make(map[uint64]uint32) }
+
+// TestMOATEquivalence checks the converted MOAT fires ABOs on exactly the
+// same activations as the map reference, across window resets.
+func TestMOATEquivalence(t *testing.T) {
+	moat, err := NewMOAT(MOATConfig{TRH: 64, ResetPeriod: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &refMOATCounts{eth: 32, counts: make(map[uint64]uint32)}
+	rng := sim.NewRNG(0x0a7)
+	var refABOs uint64
+	for op := 0; op < 200_000; op++ {
+		bank := int(rng.Uint32() & 7)
+		row := rng.Uint32() & 0x3f
+		dec := moat.OnActivate(sim.Tick(op), bank, row)
+		fired := len(dec.PreOps) > 0
+		if ref.observe(bank, row) {
+			refABOs++
+			if !fired {
+				t.Fatalf("op %d: reference fired ABO, MOAT did not", op)
+			}
+		} else if fired {
+			t.Fatalf("op %d: MOAT fired ABO, reference did not", op)
+		}
+		if op%1000 == 999 {
+			moat.OnRefresh(sim.Tick(op), 8) // multiple of ResetPeriod: reset
+			ref.reset()
+		}
+	}
+	if moat.ABOs != refABOs {
+		t.Fatalf("ABOs = %d, reference %d", moat.ABOs, refABOs)
+	}
+}
+
+// TestGrapheneSelectionsAcrossResets pins Graphene's full OnActivate/
+// OnRefresh loop (decisions, Selections, residency) against the reference
+// table under windowed resets.
+func TestGrapheneSelectionsAcrossResets(t *testing.T) {
+	g, err := NewGraphene(GrapheneConfig{TRH: 40, Banks: 4, Mode: ModeDRFMsb, ResetPeriod: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]*refSSTable, 4)
+	for i := range refs {
+		refs[i] = newRefSSTable(g.entries)
+	}
+	tth := uint32(20)
+	rng := sim.NewRNG(0x9a9)
+	var refSelections uint64
+	for op := 0; op < 200_000; op++ {
+		bank := int(rng.Uint32() & 3)
+		row := rng.Uint32() & 0x1fff
+		dec := g.OnActivate(sim.Tick(op), bank, row)
+		refFired := false
+		if refs[bank].touch(row) >= tth {
+			refs[bank].reset(row)
+			refSelections++
+			refFired = true
+		}
+		if fired := dec.CloseNow; fired != refFired {
+			t.Fatalf("op %d: mitigate=%v, reference %v", op, fired, refFired)
+		}
+		if op%5000 == 4999 {
+			g.OnRefresh(sim.Tick(op), 4) // multiple of ResetPeriod: full clear
+			for _, r := range refs {
+				r.clear()
+			}
+		}
+	}
+	if g.Selections != refSelections {
+		t.Fatalf("Selections = %d, reference %d", g.Selections, refSelections)
+	}
+}

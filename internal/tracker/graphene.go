@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/memctrl"
+	"repro/internal/rowtable"
 )
 
 // MaxACTsPerWindow is the maximum activations one bank can receive in a
@@ -127,7 +128,7 @@ func (g *Graphene) Count(bank int, row uint32) uint32 { return g.banks[bank].cou
 
 // Resident reports whether the row currently holds a table entry.
 func (g *Graphene) Resident(bank int, row uint32) bool {
-	_, ok := g.banks[bank].pos[row]
+	_, ok := g.banks[bank].pos.Get(uint64(row))
 	return ok
 }
 
@@ -141,13 +142,15 @@ func bitsFor(v uint64) int {
 }
 
 // ssTable is a space-saving frequent-element table: a min-heap of (row,
-// count) entries plus a row→heap-index map. The space-saving guarantee —
-// any row activated more than ACTs/K times is resident with an estimate no
-// smaller than its true count — is what makes Graphene secure.
+// count) entries plus a row→heap-index table (a rowtable.Table — the CAM
+// lookup is the per-ACT hot path, and the flat table keeps it
+// allocation-free with an O(1) per-window clear). The space-saving
+// guarantee — any row activated more than ACTs/K times is resident with an
+// estimate no smaller than its true count — is what makes Graphene secure.
 type ssTable struct {
 	cap  int
 	heap []ssEntry
-	pos  map[uint32]int
+	pos  *rowtable.Table
 }
 
 type ssEntry struct {
@@ -158,50 +161,48 @@ type ssEntry struct {
 func (t *ssTable) init(capacity int) {
 	t.cap = capacity
 	t.heap = make([]ssEntry, 0, capacity)
-	t.pos = make(map[uint32]int, capacity)
+	t.pos = rowtable.New(capacity)
 }
 
 func (t *ssTable) clear() {
 	t.heap = t.heap[:0]
-	for k := range t.pos {
-		delete(t.pos, k)
-	}
+	t.pos.Reset()
 }
 
 // touch records one activation of row and returns its new estimate.
 func (t *ssTable) touch(row uint32) uint32 {
-	if i, ok := t.pos[row]; ok {
+	if i, ok := t.pos.Get(uint64(row)); ok {
 		t.heap[i].count++
-		t.siftDown(i)
-		return t.heap[t.pos[row]].count
+		j := t.siftDown(int(i))
+		return t.heap[j].count
 	}
 	if len(t.heap) < t.cap {
 		t.heap = append(t.heap, ssEntry{row: row, count: 1})
 		i := len(t.heap) - 1
-		t.pos[row] = i
+		t.pos.Set(uint64(row), uint64(i))
 		t.siftUp(i)
 		return 1
 	}
 	// Replace the minimum (space-saving): new count = min + 1.
 	min := &t.heap[0]
-	delete(t.pos, min.row)
+	t.pos.Delete(uint64(min.row))
 	min.row = row
 	min.count++
-	t.pos[row] = 0
-	t.siftDown(0)
-	return t.heap[t.pos[row]].count
+	t.pos.Set(uint64(row), 0)
+	j := t.siftDown(0)
+	return t.heap[j].count
 }
 
 // reset zeroes a row's count after mitigation.
 func (t *ssTable) reset(row uint32) {
-	if i, ok := t.pos[row]; ok {
+	if i, ok := t.pos.Get(uint64(row)); ok {
 		t.heap[i].count = 0
-		t.siftUp(i)
+		t.siftUp(int(i))
 	}
 }
 
 func (t *ssTable) count(row uint32) uint32 {
-	if i, ok := t.pos[row]; ok {
+	if i, ok := t.pos.Get(uint64(row)); ok {
 		return t.heap[i].count
 	}
 	return 0
@@ -218,7 +219,8 @@ func (t *ssTable) siftUp(i int) {
 	}
 }
 
-func (t *ssTable) siftDown(i int) {
+// siftDown restores heap order below i and returns the entry's final index.
+func (t *ssTable) siftDown(i int) int {
 	n := len(t.heap)
 	for {
 		l, r := 2*i+1, 2*i+2
@@ -230,7 +232,7 @@ func (t *ssTable) siftDown(i int) {
 			small = r
 		}
 		if small == i {
-			return
+			return i
 		}
 		t.swap(i, small)
 		i = small
@@ -239,6 +241,6 @@ func (t *ssTable) siftDown(i int) {
 
 func (t *ssTable) swap(i, j int) {
 	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
-	t.pos[t.heap[i].row] = i
-	t.pos[t.heap[j].row] = j
+	t.pos.Set(uint64(t.heap[i].row), uint64(i))
+	t.pos.Set(uint64(t.heap[j].row), uint64(j))
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/memctrl"
+	"repro/internal/rowtable"
 	"repro/internal/sim"
 )
 
@@ -26,9 +27,9 @@ import (
 // For benign workloads ABO almost never fires (§7.1), so MOAT's slowdown is
 // the intrinsic ≈9.7 % across all thresholds.
 type MOAT struct {
-	eth    uint32
+	eth    uint64
 	aboDur Tick
-	counts map[uint64]uint32
+	counts *rowtable.Table
 
 	resetPeriod uint64
 
@@ -61,9 +62,9 @@ func NewMOAT(cfg MOATConfig) (*MOAT, error) {
 		cfg.ResetPeriod = 8192
 	}
 	return &MOAT{
-		eth:         eth,
+		eth:         uint64(eth),
 		aboDur:      cfg.ABODur,
-		counts:      make(map[uint64]uint32),
+		counts:      rowtable.New(1 << 12),
 		resetPeriod: cfg.ResetPeriod,
 	}, nil
 }
@@ -73,12 +74,11 @@ func (t *MOAT) Name() string { return fmt.Sprintf("MOAT(ETH=%d)", t.eth) }
 
 // OnActivate implements memctrl.Mitigator.
 func (t *MOAT) OnActivate(now Tick, bank int, row uint32) memctrl.Decision {
-	k := uint64(bank)<<32 | uint64(row)
-	t.counts[k]++
-	if t.counts[k] < t.eth {
+	k := rowtable.Key(bank, row)
+	if t.counts.Incr(k, 1) < t.eth {
 		return memctrl.Decision{}
 	}
-	t.counts[k] = 0
+	t.counts.Set(k, 0)
 	t.ABOs++
 	// The device mitigates the row during the ABO; NRR stands in for the
 	// in-DRAM victim refresh so the auditor observes it, and the stall
@@ -100,9 +100,7 @@ func (t *MOAT) OnMitigations(Tick, []dram.Mitigation) {}
 // OnRefresh implements memctrl.Mitigator.
 func (t *MOAT) OnRefresh(now Tick, refIndex uint64) []memctrl.Op {
 	if refIndex > 0 && refIndex%t.resetPeriod == 0 {
-		for k := range t.counts {
-			delete(t.counts, k)
-		}
+		t.counts.Reset()
 	}
 	return nil
 }

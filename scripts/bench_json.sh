@@ -1,20 +1,22 @@
 #!/bin/sh
-# bench_json.sh — run the tracked figure benchmarks cold and emit the results
-# as JSON (ns/op per run), suitable for recording in BENCH_<n>.json files to
-# compare across PRs.
+# bench_json.sh — run the tracked benchmarks cold and emit the results as
+# JSON (ns/op and allocs/op per run), suitable for recording in BENCH_<n>.json
+# files to compare across PRs.
 #
 # Usage: scripts/bench_json.sh [count]
 #   count  repetitions per benchmark (default 3)
 #
 # -benchtime=1x is deliberate: the run cache makes warm iterations nearly
 # free, so only the first (cold) iteration measures real simulation work.
+# BenchmarkMitigatedRun pre-warms the trace cache outside the timer, so its
+# cold iteration isolates the mitigated simulation itself.
 set -eu
 
 count=${1:-3}
 cd "$(dirname "$0")/.."
 
-out=$(go test -run '^$' -bench 'BenchmarkFig10$|BenchmarkFig19$' \
-	-benchtime=1x -count="$count" -timeout 7200s . 2>&1) || {
+out=$(go test -run '^$' -bench 'BenchmarkFig10$|BenchmarkFig19$|BenchmarkMitigatedRun' \
+	-benchtime=1x -benchmem -count="$count" -timeout 7200s . 2>&1) || {
 	echo "$out" >&2
 	exit 1
 }
@@ -23,17 +25,22 @@ echo "$out" | awk -v gover="$(go version | awk '{print $3}')" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
-	vals[name] = vals[name] sep[name] $3
-	sep[name] = ", "
+	if (!(name in ns)) order[++n] = name
+	ns[name] = ns[name] nssep[name] $3
+	nssep[name] = ", "
+	# With -benchmem: <name> <iters> <ns> ns/op <B> B/op <allocs> allocs/op
+	if (NF >= 8 && $8 == "allocs/op") {
+		al[name] = al[name] alsep[name] $7
+		alsep[name] = ", "
+	}
 }
 END {
-	printf "{\n  \"go\": \"%s\",\n  \"unit\": \"ns/op\",\n  \"benchtime\": \"1x (cold, cache reset per benchmark)\",\n", gover
+	printf "{\n  \"go\": \"%s\",\n  \"benchtime\": \"1x (cold, cache reset per benchmark)\",\n", gover
 	printf "  \"results\": {\n"
-	n = 0
-	for (b in vals) order[++n] = b
 	for (i = 1; i <= n; i++) {
 		b = order[i]
-		printf "    \"%s\": [%s]%s\n", b, vals[b], (i < n ? "," : "")
+		printf "    \"%s\": {\"ns_per_op\": [%s], \"allocs_per_op\": [%s]}%s\n", \
+			b, ns[b], al[b], (i < n ? "," : "")
 	}
 	printf "  }\n}\n"
 }'

@@ -5,48 +5,92 @@
 //	experiments -list                 # show every experiment
 //	experiments -run fig9             # reproduce Figure 9
 //	experiments -run fig15top -quick  # reduced run for a fast look
-//	experiments -run all              # everything (slow)
+//	experiments -run all              # everything (slow); journals to results/
+//	experiments -run all -resume      # skip experiments already journaled ok
+//	experiments -run all -keep-going  # run past failures, summarise at exit
 //	experiments -run fig19 -quick -cpuprofile cpu.prof -memprofile mem.prof
 //	                                  # then: go tool pprof cpu.prof
+//
+// Robustness flags: -timeout bounds each simulation's wall-clock time
+// (converting livelocks into per-run failures), -journal controls where
+// completions are recorded, and -fault (or EXPERIMENTS_FAULT) injects a
+// test-only failure to exercise the harness.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/harness"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit, so tests can drive the CLI end to end
+// and assert on exit codes, output, and journal side effects.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		run     = flag.String("run", "", "experiment ID (or 'all')")
-		quick   = flag.Bool("quick", false, "reduced workload set and shorter traces")
-		seed    = flag.Uint64("seed", 0, "override the experiment seed")
-		wls     = flag.String("workloads", "", "comma-separated workload subset")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		nocache = flag.Bool("nocache", false, "disable the process-wide trace/baseline run cache")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		runIDs  = fs.String("run", "", "experiment ID(s), comma-separated, or 'all'")
+		quick   = fs.Bool("quick", false, "reduced workload set and shorter traces")
+		seed    = fs.Uint64("seed", 0, "override the experiment seed")
+		wls     = fs.String("workloads", "", "comma-separated workload subset")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		nocache = fs.Bool("nocache", false, "disable the process-wide trace/baseline run cache")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write an allocation profile to this file at exit")
+
+		timeout = fs.Duration("timeout", 0,
+			"wall-clock deadline per simulation (0 = off; '-run all' defaults to 15m)")
+		keepGoing = fs.Bool("keep-going", false,
+			"run every requested experiment despite failures; exit non-zero with a summary")
+		resume = fs.Bool("resume", false,
+			"skip experiments whose latest journal entry succeeded")
+		journalPath = fs.String("journal", "",
+			`journal file ("" = results/journal.jsonl for '-run all', none otherwise; "off" disables)`)
+		fault = fs.String("fault", "",
+			"inject a test fault: kind:nth[:times], kinds panic|error|flaky|stall (or $EXPERIMENTS_FAULT)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	harness.SetOutput(stderr)
 	if *nocache {
 		exp.SetCacheEnabled(false)
 	}
+
+	if spec := firstNonEmpty(*fault, os.Getenv("EXPERIMENTS_FAULT")); spec != "" {
+		kind, nth, times, err := harness.ParseFault(spec)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 2
+		}
+		restore := harness.InjectFault(kind, nth, times)
+		defer restore()
+	}
+
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -54,66 +98,149 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memProf)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
+				fmt.Fprintln(stderr, "experiments:", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // report live data, not garbage
 			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
+				fmt.Fprintln(stderr, "experiments:", err)
 			}
 		}()
 	}
 
-	if *list || *run == "" {
-		fmt.Println("experiments:")
+	if *list || *runIDs == "" {
+		fmt.Fprintln(stdout, "experiments:")
 		for _, e := range exp.Registry {
-			fmt.Printf("  %-20s %s\n", e.ID, e.Desc)
+			fmt.Fprintf(stdout, "  %-20s %s\n", e.ID, e.Desc)
 		}
-		return
+		return 0
+	}
+	runAll := *runIDs == "all"
+
+	// A full campaign gets a watchdog by default: one livelocked run must
+	// not hang the remaining figures. Single experiments leave it off so
+	// interactive debugging is never interrupted.
+	effTimeout := *timeout
+	timeoutSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "timeout" {
+			timeoutSet = true
+		}
+	})
+	if runAll && !timeoutSet {
+		effTimeout = 15 * time.Minute
+	}
+	prevTimeout := exp.SetRunTimeout(effTimeout)
+	defer exp.SetRunTimeout(prevTimeout)
+
+	jpath := *journalPath
+	if jpath == "" && runAll {
+		jpath = filepath.Join("results", "journal.jsonl")
+	}
+	var journal *harness.Journal
+	if jpath != "" && jpath != "off" {
+		var err error
+		journal, err = harness.OpenJournal(jpath)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+	}
+	if *resume && journal == nil {
+		fmt.Fprintln(stderr, "experiments: -resume needs a journal (set -journal, or use -run all)")
+		return 2
 	}
 
-	o := exp.Options{Quick: *quick, Seed: *seed, Out: os.Stdout}
+	var targets []exp.Experiment
+	if runAll {
+		targets = exp.Registry
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, err := exp.Find(id)
+			if err != nil {
+				fmt.Fprintln(stderr, "experiments:", err)
+				return 1
+			}
+			targets = append(targets, e)
+		}
+	}
+
+	o := exp.Options{Quick: *quick, Seed: *seed}
 	if *wls != "" {
 		o.Workloads = strings.Split(*wls, ",")
 	}
 
-	runOne := func(e exp.Experiment) {
-		start := time.Now()
-		fmt.Printf("--- %s: %s ---\n", e.ID, e.Desc)
-		if err := e.Run(o); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
-			os.Exit(1)
+	runOne := func(e exp.Experiment) error {
+		if *resume && journal.Completed(e.ID) {
+			fmt.Fprintf(stdout, "--- %s: already completed, skipping (resume) ---\n\n", e.ID)
+			return nil
 		}
-		fmt.Printf("[%s done in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		start := time.Now()
+		fmt.Fprintf(stdout, "--- %s: %s ---\n", e.ID, e.Desc)
+		var buf bytes.Buffer
+		ro := o
+		ro.Out = io.MultiWriter(stdout, &buf)
+		err := e.Run(ro)
+		elapsed := time.Since(start)
+		if journal != nil {
+			ent := harness.Entry{
+				ID:         e.ID,
+				Status:     harness.StatusOK,
+				Output:     buf.String(),
+				ElapsedMS:  elapsed.Milliseconds(),
+				FinishedAt: time.Now().UTC().Format(time.RFC3339),
+			}
+			if err != nil {
+				ent.Status = harness.StatusFail
+				ent.Error = err.Error()
+			}
+			if jerr := journal.Record(ent); jerr != nil {
+				fmt.Fprintln(stderr, "experiments:", jerr)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "experiments: %s: %v\n", e.ID, err)
+			return err
+		}
+		fmt.Fprintf(stdout, "[%s done in %v]\n\n", e.ID, elapsed.Round(time.Millisecond))
+		return nil
 	}
 
-	if *run == "all" {
-		for _, e := range exp.Registry {
-			runOne(e)
+	var failed []string
+	for _, e := range targets {
+		if err := runOne(e); err != nil {
+			failed = append(failed, e.ID)
+			if !*keepGoing {
+				printCacheStats(stdout)
+				return 1
+			}
 		}
-		printCacheStats()
-		return
 	}
-	for _, id := range strings.Split(*run, ",") {
-		e, err := exp.Find(id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		runOne(e)
+	printCacheStats(stdout)
+	if len(failed) > 0 {
+		fmt.Fprintf(stderr, "experiments: %d of %d failed: %s\n",
+			len(failed), len(targets), strings.Join(failed, ", "))
+		return 1
 	}
-	printCacheStats()
+	return 0
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
 }
 
 // printCacheStats reports how much redundant work the run cache absorbed
 // over this invocation (each trace-set generation and each unprotected
 // baseline simulates once per process; everything else is a hit).
-func printCacheStats() {
+func printCacheStats(w io.Writer) {
 	st := exp.CacheStats()
 	if st.TraceMisses+st.RunMisses == 0 {
 		return
 	}
-	fmt.Printf("[run cache: %d trace gens (+%d reused), %d baseline sims (+%d reused)]\n",
+	fmt.Fprintf(w, "[run cache: %d trace gens (+%d reused), %d baseline sims (+%d reused)]\n",
 		st.TraceMisses, st.TraceHits, st.RunMisses, st.RunHits)
 }

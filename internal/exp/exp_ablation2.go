@@ -35,9 +35,6 @@ func AblationDRFMKind(o Options) error {
 	}
 	wls := o.workloads()
 	slow, raw, err := slowdownGrid(o, wls, 2000, 8, schemes)
-	if err != nil {
-		return err
-	}
 	printSlowdownTable(o.out(), "Ablation: DREAM-R over DRFMsb vs DRFMab (MINT, T_RH=2K)",
 		wls, schemeNames(schemes), slow)
 	t := stats.Table{Title: "Ablation: command counts and RLP",
@@ -47,7 +44,10 @@ func AblationDRFMKind(o Options) error {
 		var rlp float64
 		n := 0
 		for _, wl := range wls {
-			r := raw[wl][sc.Name]
+			r, ok := raw[wl][sc.Name]
+			if !ok {
+				continue
+			}
 			drfms += r.DRFMsbs + r.DRFMabs
 			if r.RLP > 0 {
 				rlp += r.RLP
@@ -60,5 +60,5 @@ func AblationDRFMKind(o Options) error {
 		t.AddRow(sc.Name, fmt.Sprintf("%d", drfms), fmt.Sprintf("%.2f", rlp))
 	}
 	fmt.Fprintln(o.out(), t.String())
-	return nil
+	return err
 }

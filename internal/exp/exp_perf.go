@@ -1,7 +1,9 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	dreamcore "repro/internal/core"
 	"repro/internal/stats"
@@ -19,13 +21,12 @@ func Fig5(o Options) error {
 		MINTWith(tracker.ModeNRR), MINTWith(tracker.ModeDRFMsb), MINTWith(tracker.ModeDRFMab),
 	}
 	wls := o.workloads()
+	// A degraded grid still renders: failed cells print FAIL and err names
+	// the underlying failures (the pattern every grid figure follows).
 	slow, _, err := slowdownGrid(o, wls, 2000, 8, schemes)
-	if err != nil {
-		return err
-	}
 	printSlowdownTable(o.out(), "Figure 5: slowdown at T_RH=2K, coupled trackers over NRR/DRFMsb/DRFMab",
 		wls, schemeNames(schemes), slow)
-	return nil
+	return err
 }
 
 // Table5 reproduces Table 5: average RLP of PARA and MINT with coupled
@@ -37,9 +38,6 @@ func Table5(o Options) error {
 	}
 	wls := o.workloads()
 	_, raw, err := slowdownGrid(o, wls, 2000, 8, schemes)
-	if err != nil {
-		return err
-	}
 	t := stats.Table{Title: "Table 5: average RLP (rows mitigated per DRFM command)",
 		Columns: []string{"design", "avg RLP"}}
 	for _, sc := range schemes {
@@ -58,7 +56,7 @@ func Table5(o Options) error {
 		}
 	}
 	fmt.Fprintln(o.out(), t.String())
-	return nil
+	return err
 }
 
 // Fig9 reproduces Figure 9: DREAM-R recovers (PARA) or beats (MINT) the NRR
@@ -70,12 +68,9 @@ func Fig9(o Options) error {
 	}
 	wls := o.workloads()
 	slow, _, err := slowdownGrid(o, wls, 2000, 8, schemes)
-	if err != nil {
-		return err
-	}
 	printSlowdownTable(o.out(), "Figure 9: slowdown at T_RH=2K, NRR vs DRFMsb vs DREAM-R",
 		wls, schemeNames(schemes), slow)
-	return nil
+	return err
 }
 
 // Fig10 reproduces Figure 10: DREAM-R slowdown versus threshold — paper
@@ -85,22 +80,21 @@ func Fig10(o Options) error {
 	wls := o.workloads()
 	t := stats.Table{Title: "Figure 10: average slowdown of DREAM-R vs T_RH",
 		Columns: []string{"T_RH", "para-drfmsb", "para-dreamr", "mint-drfmsb", "mint-dreamr"}}
+	var errs []error
 	for _, trh := range []int{500, 1000, 2000, 4000} {
 		schemes := []Scheme{
 			PARAWith(tracker.ModeDRFMsb), DreamRPARA(true),
 			MINTWith(tracker.ModeDRFMsb), DreamRMINT(true, false),
 		}
 		slow, _, err := slowdownGrid(o, wls, trh, 8, schemes)
-		if err != nil {
-			return err
-		}
+		errs = append(errs, err)
 		avg := averageBy(wls, schemeNames(schemes), slow)
 		t.AddRow(fmt.Sprintf("%d", trh),
 			stats.Pct(avg["para-drfmsb"]), stats.Pct(avg["para-dreamr"]),
 			stats.Pct(avg["mint-drfmsb"]), stats.Pct(avg["mint-dreamr"]))
 	}
 	fmt.Fprintln(o.out(), t.String())
-	return nil
+	return errors.Join(errs...)
 }
 
 // Fig15Top reproduces Figure 15 (top): DREAM-C grouping functions at
@@ -113,12 +107,9 @@ func Fig15Top(o Options) error {
 	}
 	wls := o.workloads()
 	slow, _, err := slowdownGridN(o, wls, 500, 8, schemes, o.counterAccesses())
-	if err != nil {
-		return err
-	}
 	printSlowdownTable(o.out(), "Figure 15 (top): DREAM-C grouping at T_RH=500",
 		wls, schemeNames(schemes), slow)
-	return nil
+	return err
 }
 
 // Fig15Bot reproduces Figure 15 (bottom): DREAM-C (randomized) across
@@ -127,26 +118,34 @@ func Fig15Bot(o Options) error {
 	wls := o.workloads()
 	t := stats.Table{Title: "Figure 15 (bottom): DREAM-C (randomized) slowdown vs T_RH",
 		Columns: []string{"T_RH", "average", "worst", "worst workload"}}
+	var errs []error
 	for _, trh := range []int{250, 500, 1000} {
 		schemes := []Scheme{DreamC(dreamcore.GroupRandomized, 1, false)}
 		slow, _, err := slowdownGridN(o, wls, trh, 8, schemes, o.counterAccesses())
-		if err != nil {
-			return err
-		}
+		errs = append(errs, err)
 		name := schemes[0].Name
 		var sum, worst float64
 		worstWL := ""
+		n := 0
 		for _, wl := range wls {
 			v := slow[wl][name]
+			if math.IsNaN(v) {
+				continue
+			}
 			sum += v
+			n++
 			if v > worst {
 				worst, worstWL = v, wl
 			}
 		}
-		t.AddRow(fmt.Sprintf("%d", trh), stats.Pct(sum/float64(len(wls))), stats.Pct(worst), worstWL)
+		avg := math.NaN()
+		if n > 0 {
+			avg = sum / float64(n)
+		}
+		t.AddRow(fmt.Sprintf("%d", trh), stats.Pct(avg), stats.Pct(worst), worstWL)
 	}
 	fmt.Fprintln(o.out(), t.String())
-	return nil
+	return errors.Join(errs...)
 }
 
 // Fig17 reproduces Figure 17: ABACuS vs DREAM-C vs DREAM-C(2x) at
@@ -160,29 +159,37 @@ func Fig17(o Options) error {
 	}
 	wls := o.workloads()
 	slow, raw, err := slowdownGridN(o, wls, 125, 8, schemes, o.counterAccesses())
-	if err != nil {
-		return err
-	}
 	printSlowdownTable(o.out(), "Figure 17: slowdown at T_RH=125", wls, schemeNames(schemes), slow)
 	t := stats.Table{Title: "Figure 17: storage", Columns: []string{"design", "KB/bank"}}
 	for _, sc := range schemes {
 		// Storage is a property of the design, not the workload: average
-		// across workloads and reject any disagreement loudly instead of
-		// silently reporting whichever workload iterated last.
-		var sum int64
+		// across surviving workloads and reject any disagreement loudly
+		// instead of silently reporting whichever workload iterated last.
+		var sum, ref int64
+		n := 0
 		for _, wl := range wls {
-			bits := raw[wl][sc.Name].StorageBits
-			if ref := raw[wls[0]][sc.Name].StorageBits; bits != ref {
-				return fmt.Errorf("fig17: %s storage differs across workloads (%d vs %d bits)",
-					sc.Name, bits, ref)
+			r, ok := raw[wl][sc.Name]
+			if !ok {
+				continue
 			}
-			sum += bits
+			if n == 0 {
+				ref = r.StorageBits
+			} else if r.StorageBits != ref {
+				return fmt.Errorf("fig17: %s storage differs across workloads (%d vs %d bits)",
+					sc.Name, r.StorageBits, ref)
+			}
+			sum += r.StorageBits
+			n++
 		}
-		bits := sum / int64(len(wls))
+		if n == 0 {
+			t.AddRow(sc.Name, "FAIL")
+			continue
+		}
+		bits := sum / int64(n)
 		t.AddRow(sc.Name, fmt.Sprintf("%.2f", float64(bits)/8/1024/32))
 	}
 	fmt.Fprintln(o.out(), t.String())
-	return nil
+	return err
 }
 
 // Fig19 reproduces Figure 19: PRAC (MOAT) vs MINT(DREAM-R) vs DREAM-C —
@@ -192,18 +199,17 @@ func Fig19(o Options) error {
 	wls := o.workloads()
 	t := stats.Table{Title: "Figure 19: average slowdown, PRAC vs DREAM",
 		Columns: []string{"T_RH", "moat(prac)", "mint-dreamr", "dreamc"}}
+	var errs []error
 	for _, trh := range []int{500, 1000, 2000, 4000} {
 		schemes := []Scheme{MOAT(), DreamRMINT(true, false), DreamC(dreamcore.GroupRandomized, 1, false)}
 		slow, _, err := slowdownGridN(o, wls, trh, 8, schemes, o.counterAccesses())
-		if err != nil {
-			return err
-		}
+		errs = append(errs, err)
 		avg := averageBy(wls, schemeNames(schemes), slow)
 		t.AddRow(fmt.Sprintf("%d", trh),
 			stats.Pct(avg["moat"]), stats.Pct(avg["mint-dreamr"]), stats.Pct(avg["dreamc-randomized"]))
 	}
 	fmt.Fprintln(o.out(), t.String())
-	return nil
+	return errors.Join(errs...)
 }
 
 // Fig22 reproduces Appendix C (Figure 22): DREAM-C under 16 cores, and the
@@ -213,21 +219,20 @@ func Fig22(o Options) error {
 	wls := o.workloads()
 	t := stats.Table{Title: "Figure 22 (Appendix C): DREAM-C with 16 cores",
 		Columns: []string{"T_RH", "dreamc-16core", "dreamc-2x-16core"}}
+	var errs []error
 	for _, trh := range []int{250, 500, 1000} {
 		schemes := []Scheme{
 			DreamC(dreamcore.GroupRandomized, 1, false),
 			DreamC(dreamcore.GroupRandomized, 2, false),
 		}
 		slow, _, err := slowdownGridN(o, wls, trh, 16, schemes, o.counterAccesses())
-		if err != nil {
-			return err
-		}
+		errs = append(errs, err)
 		avg := averageBy(wls, schemeNames(schemes), slow)
 		t.AddRow(fmt.Sprintf("%d", trh),
 			stats.Pct(avg["dreamc-randomized"]), stats.Pct(avg["dreamc-randomized-2x"]))
 	}
 	fmt.Fprintln(o.out(), t.String())
-	return nil
+	return errors.Join(errs...)
 }
 
 // Fig23 reproduces Appendix D (Figure 23): ten 8-way random SPEC2017
@@ -306,9 +311,6 @@ func AblationDelay(o Options) error {
 	}
 	wls := o.workloads()
 	slow, raw, err := slowdownGrid(o, wls, 2000, 8, schemes)
-	if err != nil {
-		return err
-	}
 	printSlowdownTable(o.out(), "Ablation: delaying DRFM (MINT, T_RH=2K)", wls, schemeNames(schemes), slow)
 	t := stats.Table{Title: "Ablation: DRFM command counts", Columns: []string{"design", "DRFMs", "RLP"}}
 	for _, sc := range schemes {
@@ -316,7 +318,10 @@ func AblationDelay(o Options) error {
 		var rlp float64
 		n := 0
 		for _, wl := range wls {
-			r := raw[wl][sc.Name]
+			r, ok := raw[wl][sc.Name]
+			if !ok {
+				continue
+			}
 			drfms += r.DRFMsbs + r.DRFMabs
 			if r.RLP > 0 {
 				rlp += r.RLP
@@ -329,7 +334,7 @@ func AblationDelay(o Options) error {
 		t.AddRow(sc.Name, fmt.Sprintf("%d", drfms), fmt.Sprintf("%.2f", rlp))
 	}
 	fmt.Fprintln(o.out(), t.String())
-	return nil
+	return err
 }
 
 // AblationATM contrasts the two ways DREAM-R restores the tolerated
@@ -341,12 +346,9 @@ func AblationATM(o Options) error {
 	}
 	wls := o.workloads()
 	slow, _, err := slowdownGrid(o, wls, 2000, 8, schemes)
-	if err != nil {
-		return err
-	}
 	printSlowdownTable(o.out(), "Ablation: revised parameters vs ATM (T_RH=2K)",
 		wls, schemeNames(schemes), slow)
-	return nil
+	return err
 }
 
 // AblationGrouping extends Figure 15 with the entry-multiplier axis.
@@ -359,10 +361,7 @@ func AblationGrouping(o Options) error {
 	}
 	wls := o.workloads()
 	slow, _, err := slowdownGridN(o, wls, 500, 8, schemes, o.counterAccesses())
-	if err != nil {
-		return err
-	}
 	printSlowdownTable(o.out(), "Ablation: DCT grouping and sizing (T_RH=500)",
 		wls, schemeNames(schemes), slow)
-	return nil
+	return err
 }

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -152,7 +153,7 @@ func TestParallelPreservesOrderAndErrors(t *testing.T) {
 		}
 		return 0, nil
 	})
-	if err != errTest {
+	if !errors.Is(err, errTest) {
 		t.Errorf("err = %v", err)
 	}
 }

@@ -1,8 +1,11 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"repro/internal/stats"
@@ -141,9 +144,28 @@ func slowdownGrid(o Options, wls []string, trh int, cores int, schemes []Scheme)
 // slowdownGridN is slowdownGrid with an explicit per-core trace length.
 // Baselines run first so each workload's counter-threshold WindowScale can
 // be derived from its measured simulation time.
+//
+// The grid degrades instead of aborting: when runs fail, the surviving
+// cells are still returned and every failed or skipped cell is marked NaN
+// in slow (rendered as FAIL by stats.Pct), with the underlying failures
+// joined into the returned error. Callers should render what survived and
+// then propagate the error.
 func slowdownGridN(o Options, wls []string, trh int, cores int, schemes []Scheme, accesses uint64) (map[string]map[string]float64, map[string]map[string]stats.RunResult, error) {
+	slow := make(map[string]map[string]float64)
+	raw := make(map[string]map[string]stats.RunResult)
+	for _, wl := range wls {
+		raw[wl] = make(map[string]stats.RunResult)
+		slow[wl] = make(map[string]float64)
+	}
+	markFailed := func(wl string) {
+		for _, sc := range schemes {
+			slow[wl][sc.Name] = math.NaN()
+		}
+	}
+
+	ctx := context.Background()
 	base := make(map[string]stats.RunResult)
-	baseResults, err := Parallel(len(wls), func(i int) (stats.RunResult, error) {
+	baseResults, baseErrs, baseErr := ParallelCtx(ctx, len(wls), func(_ context.Context, i int) (stats.RunResult, error) {
 		return Run(RunConfig{
 			Workload:        wls[i],
 			Cores:           cores,
@@ -153,11 +175,17 @@ func slowdownGridN(o Options, wls []string, trh int, cores int, schemes []Scheme
 			Seed:            o.seed(),
 		})
 	})
-	if err != nil {
-		return nil, nil, err
-	}
+	// Scheme runs need their workload's measured baseline (WindowScale);
+	// a workload whose baseline failed fails whole-row.
+	var good []string
 	for i, wl := range wls {
+		if baseErrs[i] != nil {
+			markFailed(wl)
+			continue
+		}
 		base[wl] = baseResults[i]
+		raw[wl]["base"] = baseResults[i]
+		good = append(good, wl)
 	}
 
 	type job struct {
@@ -165,12 +193,12 @@ func slowdownGridN(o Options, wls []string, trh int, cores int, schemes []Scheme
 		scheme Scheme
 	}
 	var jobs []job
-	for _, wl := range wls {
+	for _, wl := range good {
 		for _, sc := range schemes {
 			jobs = append(jobs, job{wl, sc})
 		}
 	}
-	results, err := Parallel(len(jobs), func(i int) (stats.RunResult, error) {
+	results, jobErrs, schemeErr := ParallelCtx(ctx, len(jobs), func(_ context.Context, i int) (stats.RunResult, error) {
 		j := jobs[i]
 		return Run(RunConfig{
 			Workload:        j.wl,
@@ -182,39 +210,44 @@ func slowdownGridN(o Options, wls []string, trh int, cores int, schemes []Scheme
 			WindowScale:     scaleFromBase(base[j.wl].SimTimeNS),
 		})
 	})
-	if err != nil {
-		return nil, nil, err
-	}
-	slow := make(map[string]map[string]float64)
-	raw := make(map[string]map[string]stats.RunResult)
-	for _, wl := range wls {
-		raw[wl] = map[string]stats.RunResult{"base": base[wl]}
-		slow[wl] = make(map[string]float64)
-	}
 	for i, j := range jobs {
+		if jobErrs[i] != nil {
+			slow[j.wl][j.scheme.Name] = math.NaN()
+			continue
+		}
 		raw[j.wl][j.scheme.Name] = results[i]
 		slow[j.wl][j.scheme.Name] = stats.Slowdown(base[j.wl], results[i])
 	}
-	return slow, raw, nil
+	return slow, raw, errors.Join(baseErr, schemeErr)
 }
 
 // printSlowdownTable renders a per-workload slowdown table plus the average
-// row, with scheme columns in the given order.
+// row, with scheme columns in the given order. Failed cells (NaN, see
+// slowdownGridN) render as FAIL and are excluded from the average, so a
+// degraded grid still yields a readable figure.
 func printSlowdownTable(w io.Writer, title string, wls []string, schemeNames []string, slow map[string]map[string]float64) {
 	t := stats.Table{Title: title, Columns: append([]string{"workload"}, schemeNames...)}
 	avg := make(map[string]float64)
+	cnt := make(map[string]int)
 	for _, wl := range wls {
 		row := []string{wl}
 		for _, s := range schemeNames {
 			v := slow[wl][s]
-			avg[s] += v
+			if !math.IsNaN(v) {
+				avg[s] += v
+				cnt[s]++
+			}
 			row = append(row, stats.Pct(v))
 		}
 		t.AddRow(row...)
 	}
 	row := []string{"AVERAGE"}
 	for _, s := range schemeNames {
-		row = append(row, stats.Pct(avg[s]/float64(len(wls))))
+		if cnt[s] == 0 {
+			row = append(row, stats.Pct(math.NaN()))
+			continue
+		}
+		row = append(row, stats.Pct(avg[s]/float64(cnt[s])))
 	}
 	t.AddRow(row...)
 	fmt.Fprintln(w, t.String())
@@ -229,16 +262,25 @@ func schemeNames(schemes []Scheme) []string {
 	return out
 }
 
-// averageBy computes per-scheme averages over workloads.
+// averageBy computes per-scheme averages over workloads, skipping failed
+// (NaN) cells; a scheme with no surviving cells averages to NaN (FAIL).
 func averageBy(wls []string, names []string, slow map[string]map[string]float64) map[string]float64 {
 	avg := make(map[string]float64)
+	cnt := make(map[string]int)
 	for _, wl := range wls {
 		for _, s := range names {
-			avg[s] += slow[wl][s]
+			if v := slow[wl][s]; !math.IsNaN(v) {
+				avg[s] += v
+				cnt[s]++
+			}
 		}
 	}
 	for _, s := range names {
-		avg[s] /= float64(len(wls))
+		if cnt[s] == 0 {
+			avg[s] = math.NaN()
+			continue
+		}
+		avg[s] /= float64(cnt[s])
 	}
 	return avg
 }

@@ -3,14 +3,19 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/harness"
 	"repro/internal/memctrl"
 	"repro/internal/runcache"
 	"repro/internal/sim"
@@ -49,13 +54,20 @@ type Scheme struct {
 }
 
 // RunConfig describes one simulation.
+//
+// Run normalizes zero values before executing: Cores <= 0 becomes 8 (the
+// Table-2 machine), AccessesPerCore == 0 becomes 200 000, WindowScale <= 0
+// becomes 1, Seed == 0 becomes 0x5eed, and MaxTime == 0 becomes 200 ms of
+// simulated time. Each normalization is announced once per process through
+// the harness log so a silently-defaulted field can never masquerade as an
+// intentional configuration.
 type RunConfig struct {
 	Workload        string // Suite workload (rate mode); empty when Traces set
-	Cores           int
+	Cores           int    // <= 0 normalizes to 8
 	AccessesPerCore uint64
 	TRH             int
 	Scheme          Scheme
-	Seed            uint64
+	Seed            uint64 // 0 normalizes to 0x5eed
 	// WindowScale is the fraction of tREFW the run represents; counter
 	// thresholds and reset sweeps scale by it. 1.0 = unscaled.
 	WindowScale float64
@@ -197,13 +209,57 @@ func relabel(r stats.RunResult, cfg RunConfig) stats.RunResult {
 	return r
 }
 
+// --- wall-clock watchdog ----------------------------------------------------
+
+// runTimeoutNS is the per-simulation wall-clock deadline in nanoseconds
+// (0 = disabled, the default; the experiments CLI arms it for `-run all`).
+var runTimeoutNS atomic.Int64
+
+// SetRunTimeout arms (or, with d <= 0, disarms) a wall-clock deadline for
+// every subsequent simulation attempt and returns the previous setting. A
+// run that exceeds the deadline is aborted from its progress callback with
+// a retryable harness.SimError carrying the last-progress snapshot.
+func SetRunTimeout(d time.Duration) (prev time.Duration) {
+	return time.Duration(runTimeoutNS.Swap(int64(d)))
+}
+
+// RunTimeout reports the current per-simulation wall-clock deadline.
+func RunTimeout() time.Duration { return time.Duration(runTimeoutNS.Load()) }
+
+// tiebreakSalt perturbs the mitigator RNG seed on the bounded retry of a
+// transiently-failed run: trace generation still uses the original Seed, so
+// the retry replays the same workload, but scheduling tiebreaks inside the
+// mitigators land differently — enough to escape a pathological livelock
+// without changing what is being measured. Attempt 0 is unperturbed.
+func tiebreakSalt(attempt int) uint64 {
+	if attempt == 0 {
+		return 0
+	}
+	return 0x6a09e667f3bcc909 * uint64(attempt)
+}
+
+// runID names cfg for error reporting and fault injection.
+func (cfg RunConfig) runID() harness.RunID {
+	wl := cfg.Workload
+	if wl == "" && cfg.Traces != nil {
+		wl = "traces"
+	}
+	return harness.RunID{Scheme: cfg.Scheme.Name, Workload: wl, Seed: cfg.Seed, TRH: cfg.TRH}
+}
+
 // Run executes one configuration and returns its metrics. Unprotected
 // (scheme-free) runs on generated traces are memoized process-wide: the
 // first request simulates, concurrent identical requests share that
 // simulation (singleflight), and later ones return the cached result —
 // bit-identical to an uncached run.
+//
+// Failures come back as *harness.SimError carrying the run identity; a
+// retryable failure (watchdog trip, injected transient) is retried exactly
+// once with a perturbed tiebreak seed before being reported.
 func Run(cfg RunConfig) (stats.RunResult, error) {
 	if cfg.Cores <= 0 {
+		harness.Noticef("exp-normalize-cores",
+			"exp: RunConfig.Cores <= 0 normalized to 8 (documented on RunConfig; logged once)")
 		cfg.Cores = 8
 	}
 	if cfg.AccessesPerCore == 0 {
@@ -213,15 +269,30 @@ func Run(cfg RunConfig) (stats.RunResult, error) {
 		cfg.WindowScale = 1
 	}
 	if cfg.Seed == 0 {
+		harness.Noticef("exp-normalize-seed",
+			"exp: RunConfig.Seed == 0 normalized to 0x5eed (documented on RunConfig; logged once)")
 		cfg.Seed = 0x5eed
 	}
 	if cfg.MaxTime == 0 {
 		cfg.MaxTime = 200 * 1000 * 1000 * sim.TicksPerNS // 200 ms
 	}
 
+	r, err := runMemo(cfg, 0)
+	if err != nil && harness.IsRetryable(err) {
+		harness.Logf("exp: %s failed transiently, retrying once with perturbed tiebreak seed: %v",
+			cfg.runID(), err)
+		r, err = runMemo(cfg, 1)
+	}
+	return r, err
+}
+
+// runMemo routes one attempt through the run cache when the configuration
+// is memoizable; failed fills are never retained (see runcache), so a
+// retry attempt recomputes rather than replaying the failure.
+func runMemo(cfg RunConfig, attempt int) (stats.RunResult, error) {
 	if key, ok := cfg.runKey(); ok && cacheEnabled.Load() {
 		v, err := runCache.Run(key, func() (any, error) {
-			r, err := runUncached(cfg)
+			r, err := runUncached(cfg, attempt)
 			if err != nil {
 				return nil, err
 			}
@@ -232,11 +303,24 @@ func Run(cfg RunConfig) (stats.RunResult, error) {
 		}
 		return relabel(v.(stats.RunResult), cfg), nil
 	}
-	return runUncached(cfg)
+	return runUncached(cfg, attempt)
 }
 
-// runUncached executes one already-normalized configuration.
-func runUncached(cfg RunConfig) (stats.RunResult, error) {
+// runUncached executes one already-normalized configuration attempt. Panics
+// from simulation code are recovered into *harness.SimError with the stack,
+// so a poisoned run surfaces as an ordinary error instead of killing the
+// process (or wedging singleflight waiters sharing the fill).
+func runUncached(cfg RunConfig, attempt int) (res stats.RunResult, err error) {
+	id := cfg.runID()
+	defer func() {
+		if rec := recover(); rec != nil {
+			res, err = stats.RunResult{}, harness.NewPanicError(id, rec, debug.Stack())
+		}
+	}()
+	fault, err := harness.RunStart(id)
+	if err != nil {
+		return stats.RunResult{}, err
+	}
 	sysCfg := system.DefaultConfig()
 	if cfg.Scheme.PRAC {
 		sysCfg.Timings = dram.PRACTimings()
@@ -263,7 +347,9 @@ func runUncached(cfg RunConfig) (stats.RunResult, error) {
 		Banks:       sysCfg.Geometry.Banks,
 		RowsPerBank: sysCfg.Geometry.Rows,
 		ResetPeriod: resetPeriod,
-		Seed:        cfg.Seed,
+		// The retry attempt perturbs only the mitigator RNGs; trace
+		// generation below still uses the unsalted cfg.Seed.
+		Seed: cfg.Seed ^ tiebreakSalt(attempt),
 		ScaledTTH: func(unscaled int) uint32 {
 			v := uint32(float64(unscaled) * cfg.WindowScale)
 			if v < 2 {
@@ -297,12 +383,22 @@ func runUncached(cfg RunConfig) (stats.RunResult, error) {
 		}
 	}
 
+	// The watchdog (and any injected stall) rides the progress callback;
+	// with neither armed the hook stays nil and the event loop is exactly
+	// the pre-harness hot path.
+	if wd := harness.NewWatchdog(id, RunTimeout()); wd != nil || fault != nil {
+		sysCfg.OnProgress = func(now sim.Tick, events uint64) error {
+			fault.Stall()
+			return wd.Check(int64(now), events)
+		}
+	}
+
 	sys, err := system.New(sysCfg, traces)
 	if err != nil {
 		return stats.RunResult{}, err
 	}
 	if err := sys.Run(); err != nil {
-		return stats.RunResult{}, fmt.Errorf("%s/%s: %w", cfg.Scheme.Name, cfg.Workload, err)
+		return stats.RunResult{}, harness.Wrap(id, err)
 	}
 	return collect(cfg, sys), nil
 }
@@ -404,22 +500,49 @@ type batch struct {
 	n       int
 	next    atomic.Int64
 	pending atomic.Int64
-	done    chan struct{}
-	run     func(i int)
+	// closed is set by pool.remove once the submitter has collected the
+	// batch: a worker still holding a stale *batch pointer re-checks it and
+	// bails instead of re-entering a batch whose owner already returned.
+	closed atomic.Bool
+	done   chan struct{}
+	run    func(i int)
+	// fail receives panics recovered from run (index, converted error).
+	fail func(i int, err error)
 }
 
-// help claims and runs job indices until the batch is exhausted.
+// help claims and runs job indices until the batch is exhausted or closed.
 func (b *batch) help() {
 	for {
+		if b.closed.Load() {
+			return
+		}
 		i := int(b.next.Add(1)) - 1
 		if i >= b.n {
 			return
 		}
-		b.run(i)
+		b.exec(i)
 		if b.pending.Add(-1) == 0 {
 			close(b.done)
 		}
 	}
+}
+
+// exec runs one job index, converting a panic into an error delivered via
+// fail. The recover lives here — not in the job — so the pending latch
+// above always decrements and a poisoned job can neither kill the process
+// nor wedge every later Parallel call on a latch that never closes.
+func (b *batch) exec(i int) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err := error(harness.NewPanicError(harness.RunID{}, rec, debug.Stack()))
+			if b.fail != nil {
+				b.fail(i, err)
+			} else {
+				harness.Logf("exp: pool job %d panicked with no failure sink: %v", i, err)
+			}
+		}
+	}()
+	b.run(i)
 }
 
 // pool fans active batches out to a fixed set of workers.
@@ -447,8 +570,9 @@ func (p *pool) worker() {
 		var b *batch
 		for b == nil {
 			for i := 0; i < len(p.batches); i++ {
-				if p.batches[i].next.Load() < int64(p.batches[i].n) {
-					b = p.batches[i]
+				cand := p.batches[i]
+				if !cand.closed.Load() && cand.next.Load() < int64(cand.n) {
+					b = cand
 					break
 				}
 			}
@@ -469,6 +593,9 @@ func (p *pool) submit(b *batch) {
 }
 
 func (p *pool) remove(b *batch) {
+	// Mark first: a worker that grabbed b before it leaves the slice will
+	// re-check closed at the top of help and never re-enter the batch.
+	b.closed.Store(true)
 	p.mu.Lock()
 	for i := range p.batches {
 		if p.batches[i] == b {
@@ -482,28 +609,60 @@ func (p *pool) remove(b *batch) {
 // Parallel runs jobs on the shared worker pool, preserving result order.
 // Identical in-flight simulations are additionally deduplicated by the run
 // cache's singleflight layer, so concurrent figures never race to compute
-// the same baseline twice.
+// the same baseline twice. On failure it returns the partial results
+// alongside the aggregate error (see ParallelCtx for the full contract).
 func Parallel[T any](n int, job func(i int) (T, error)) ([]T, error) {
+	results, _, err := ParallelCtx(context.Background(), n,
+		func(_ context.Context, i int) (T, error) { return job(i) })
+	return results, err
+}
+
+// ParallelCtx runs jobs on the shared worker pool with cancellation and
+// error aggregation. On the first job error (or panic, or external ctx
+// cancellation) the batch is cancelled: jobs already claimed drain to
+// completion, unclaimed indices are skipped and recorded as
+// harness.ErrSkipped. It returns the per-index results that did finish
+// (zero values elsewhere), a per-index error slice (nil = finished), and
+// an errors.Join of the real failures — skip markers are reported in errs
+// but excluded from the join so callers see causes, not fallout.
+func ParallelCtx[T any](ctx context.Context, n int, job func(ctx context.Context, i int) (T, error)) ([]T, []error, error) {
 	if n <= 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	poolOnce.Do(sharedPool.start)
 	results := make([]T, n)
 	errs := make([]error, n)
-	b := &batch{
-		n:    n,
-		done: make(chan struct{}),
-		run:  func(i int) { results[i], errs[i] = job(i) },
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var failed atomic.Bool
+	b := &batch{n: n, done: make(chan struct{})}
+	b.fail = func(i int, err error) {
+		errs[i] = err
+		failed.Store(true)
+		cancel()
+	}
+	b.run = func(i int) {
+		if failed.Load() || jctx.Err() != nil {
+			errs[i] = fmt.Errorf("job %d: %w", i, harness.ErrSkipped)
+			return
+		}
+		r, err := job(jctx, i)
+		if err != nil {
+			b.fail(i, err)
+			return
+		}
+		results[i] = r
 	}
 	b.pending.Store(int64(n))
 	sharedPool.submit(b)
 	b.help()
 	<-b.done
 	sharedPool.remove(b)
+	var real []error
 	for _, e := range errs {
-		if e != nil {
-			return nil, e
+		if e != nil && !errors.Is(e, harness.ErrSkipped) {
+			real = append(real, e)
 		}
 	}
-	return results, nil
+	return results, errs, errors.Join(real...)
 }

@@ -1,0 +1,308 @@
+// Package harness is the resilience layer of the experiment stack: typed
+// simulation errors that carry run identity, a test-only fault-injection
+// hook, a wall-clock watchdog, a completion journal for checkpoint/resume,
+// and once-per-key operator notices. The simulator itself stays pure and
+// deterministic; everything here wraps *around* a run so that one poisoned
+// simulation cannot take down an hours-long `-run all` campaign.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RunID identifies one simulation for error reporting and fault injection.
+// A zero RunID means "unknown run" (e.g. a panic recovered at the worker
+// pool, outside any simulation).
+type RunID struct {
+	Scheme   string
+	Workload string
+	Seed     uint64
+	TRH      int
+}
+
+// String renders the identity the way failure summaries name runs.
+func (id RunID) String() string {
+	return fmt.Sprintf("%s/%s (seed 0x%x, T_RH %d)", id.Scheme, id.Workload, id.Seed, id.TRH)
+}
+
+func (id RunID) isZero() bool { return id == RunID{} }
+
+// Op classifies where in the run lifecycle a SimError originated.
+const (
+	// OpRun is a simulation that returned an ordinary error.
+	OpRun = "run"
+	// OpPanic is a panic recovered from simulation code.
+	OpPanic = "panic"
+	// OpWatchdog is a wall-clock deadline violation (livelock or stall).
+	OpWatchdog = "watchdog"
+	// OpInject is a test-only injected fault.
+	OpInject = "inject"
+)
+
+// SimError is a structured simulation failure: which run failed, in which
+// phase, whether a retry is worth attempting, and — for panics — the stack,
+// and — for watchdog trips — the last forward-progress snapshot.
+type SimError struct {
+	ID  RunID
+	Op  string
+	Err error
+	// Stack is the recovered goroutine stack (OpPanic only).
+	Stack []byte
+	// Retryable marks failures worth one bounded retry (transient faults,
+	// watchdog trips); deterministic simulation errors are not retryable.
+	Retryable bool
+	// LastNow and LastEvents snapshot forward progress at failure time
+	// (OpWatchdog): last simulated tick reached and events drained.
+	LastNow    int64
+	LastEvents uint64
+}
+
+// Error names the run so joined aggregates read "sim panic: scheme/wl ...".
+func (e *SimError) Error() string {
+	if e.ID.isZero() {
+		return fmt.Sprintf("sim %s: %v", e.Op, e.Err)
+	}
+	return fmt.Sprintf("sim %s: %s: %v", e.Op, e.ID, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *SimError) Unwrap() error { return e.Err }
+
+// NewPanicError converts a recovered panic value into a SimError.
+func NewPanicError(id RunID, v any, stack []byte) *SimError {
+	return &SimError{ID: id, Op: OpPanic, Err: fmt.Errorf("panic: %v", v), Stack: stack}
+}
+
+// Wrap attaches run identity to an ordinary simulation error; SimErrors
+// pass through unchanged so identity is never double-wrapped.
+func Wrap(id RunID, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *SimError
+	if errors.As(err, &se) {
+		return err
+	}
+	return &SimError{ID: id, Op: OpRun, Err: err}
+}
+
+// IsRetryable reports whether err (or anything it wraps) is a SimError
+// marked worth one bounded retry.
+func IsRetryable(err error) bool {
+	var se *SimError
+	return errors.As(err, &se) && se.Retryable
+}
+
+// ErrSkipped marks a parallel job that never ran because an earlier job in
+// the same batch failed (or the batch context was cancelled).
+var ErrSkipped = errors.New("harness: skipped after earlier failure")
+
+// --- operator log -----------------------------------------------------------
+
+var (
+	outMu   sync.Mutex
+	out     io.Writer = os.Stderr
+	noticed sync.Map // key -> struct{}
+)
+
+// SetOutput redirects harness notices (default os.Stderr) and returns the
+// previous writer; tests use it to capture or silence log lines.
+func SetOutput(w io.Writer) (prev io.Writer) {
+	outMu.Lock()
+	defer outMu.Unlock()
+	prev, out = out, w
+	return prev
+}
+
+// Logf writes one harness log line.
+func Logf(format string, args ...any) {
+	outMu.Lock()
+	defer outMu.Unlock()
+	fmt.Fprintf(out, "harness: "+format+"\n", args...)
+}
+
+// Noticef logs format once per key for the life of the process; repeated
+// configuration normalizations (e.g. Seed==0 rewrites) surface exactly one
+// line instead of thousands.
+func Noticef(key, format string, args ...any) {
+	if _, dup := noticed.LoadOrStore(key, struct{}{}); dup {
+		return
+	}
+	Logf(format, args...)
+}
+
+// ResetNotices clears the once-per-key notice memory (tests).
+func ResetNotices() {
+	noticed.Range(func(k, _ any) bool { noticed.Delete(k); return true })
+}
+
+// --- fault injection (test-only) --------------------------------------------
+
+// FaultKind selects what the injected fault does to the targeted run.
+type FaultKind uint8
+
+const (
+	// FaultNone disables injection.
+	FaultNone FaultKind = iota
+	// FaultPanic panics inside the simulation executor.
+	FaultPanic
+	// FaultError returns a non-retryable SimError.
+	FaultError
+	// FaultFlaky returns a retryable SimError (exercises the bounded retry).
+	FaultFlaky
+	// FaultStall makes every progress callback of the targeted run sleep,
+	// emulating a livelocked/crawling simulation so the watchdog trips.
+	FaultStall
+)
+
+// DefaultStallStep is how long an injected stall sleeps per progress
+// callback when no explicit step is configured.
+const DefaultStallStep = 5 * time.Millisecond
+
+// faultState is the process-wide injection plan: fire `kind` on simulation
+// executions nth..nth+times-1 (1-based RunStart call index).
+type faultState struct {
+	mu        sync.Mutex
+	kind      FaultKind
+	nth       int64
+	times     int64
+	calls     int64
+	stallStep time.Duration
+}
+
+var (
+	faults      faultState
+	faultsArmed atomic.Bool
+	faultsFired atomic.Int64
+)
+
+// InjectFault arms the process-wide fault hook: kind fires on the nth
+// RunStart call and the times-1 calls after it. It returns a restore
+// function that disarms the hook and resets the call counter. Test-only.
+func InjectFault(kind FaultKind, nth, times int64) (restore func()) {
+	return InjectStall(kind, nth, times, DefaultStallStep)
+}
+
+// InjectStall is InjectFault with an explicit per-callback stall duration
+// (only meaningful for FaultStall).
+func InjectStall(kind FaultKind, nth, times int64, step time.Duration) (restore func()) {
+	if times <= 0 {
+		times = 1
+	}
+	faults.mu.Lock()
+	faults.kind, faults.nth, faults.times, faults.calls, faults.stallStep = kind, nth, times, 0, step
+	faults.mu.Unlock()
+	faultsArmed.Store(kind != FaultNone)
+	faultsFired.Store(0)
+	return func() {
+		faults.mu.Lock()
+		faults.kind, faults.calls = FaultNone, 0
+		faults.mu.Unlock()
+		faultsArmed.Store(false)
+	}
+}
+
+// FiredCount reports how many faults the current injection plan has fired.
+func FiredCount() int64 { return faultsFired.Load() }
+
+// ParseFault parses a "kind:nth[:times]" injection spec ("panic:3",
+// "stall:1:2", "error:1"), as accepted by the experiments CLI.
+func ParseFault(spec string) (FaultKind, int64, int64, error) {
+	nth, times := int64(1), int64(1)
+	var k FaultKind
+	parts := splitColon(spec)
+	switch parts[0] {
+	case "panic":
+		k = FaultPanic
+	case "error":
+		k = FaultError
+	case "flaky":
+		k = FaultFlaky
+	case "stall":
+		k = FaultStall
+	default:
+		return FaultNone, 0, 0, fmt.Errorf("harness: unknown fault kind %q (want panic|error|flaky|stall)", parts[0])
+	}
+	if len(parts) > 1 {
+		if _, err := fmt.Sscanf(parts[1], "%d", &nth); err != nil || nth < 1 {
+			return FaultNone, 0, 0, fmt.Errorf("harness: bad fault index %q", parts[1])
+		}
+	}
+	if len(parts) > 2 {
+		if _, err := fmt.Sscanf(parts[2], "%d", &times); err != nil || times < 1 {
+			return FaultNone, 0, 0, fmt.Errorf("harness: bad fault repeat count %q", parts[2])
+		}
+	}
+	if len(parts) > 3 {
+		return FaultNone, 0, 0, fmt.Errorf("harness: malformed fault spec %q (want kind:nth[:times])", spec)
+	}
+	return k, nth, times, nil
+}
+
+func splitColon(s string) []string {
+	var parts []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// InjectedFault is the per-run handle RunStart returns when a stall fault
+// targets the run; the executor threads it into the progress callback.
+type InjectedFault struct {
+	step time.Duration
+}
+
+// Stall sleeps one injected step; nil-safe so executors can call it
+// unconditionally.
+func (f *InjectedFault) Stall() {
+	if f != nil {
+		time.Sleep(f.step)
+	}
+}
+
+// RunStart is called by the executor at the top of every simulation. When a
+// fault targets this call it fires: FaultPanic panics, FaultError/FaultFlaky
+// return a SimError, FaultStall returns a handle that slows the run's
+// progress callbacks. With injection disarmed it is a single atomic load.
+func RunStart(id RunID) (*InjectedFault, error) {
+	if !faultsArmed.Load() {
+		return nil, nil
+	}
+	faults.mu.Lock()
+	if faults.kind == FaultNone {
+		faults.mu.Unlock()
+		return nil, nil
+	}
+	faults.calls++
+	n := faults.calls
+	active := n >= faults.nth && n < faults.nth+faults.times
+	kind, step := faults.kind, faults.stallStep
+	faults.mu.Unlock()
+	if !active {
+		return nil, nil
+	}
+	faultsFired.Add(1)
+	switch kind {
+	case FaultPanic:
+		panic(fmt.Sprintf("harness: injected panic at simulation %d (%s)", n, id))
+	case FaultError:
+		return nil, &SimError{ID: id, Op: OpInject, Err: fmt.Errorf("injected failure at simulation %d", n)}
+	case FaultFlaky:
+		return nil, &SimError{ID: id, Op: OpInject, Retryable: true,
+			Err: fmt.Errorf("injected transient failure at simulation %d", n)}
+	case FaultStall:
+		return &InjectedFault{step: step}, nil
+	}
+	return nil, nil
+}

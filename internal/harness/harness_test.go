@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSimErrorNamesRun(t *testing.T) {
+	id := RunID{Scheme: "para-drfmsb", Workload: "lbm", Seed: 0x5eed, TRH: 2000}
+	e := &SimError{ID: id, Op: OpRun, Err: errors.New("boom")}
+	msg := e.Error()
+	for _, want := range []string{"para-drfmsb", "lbm", "0x5eed", "2000", "boom"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	if !errors.Is(e, e.Err) {
+		t.Error("Unwrap lost the cause")
+	}
+}
+
+func TestSimErrorZeroID(t *testing.T) {
+	e := NewPanicError(RunID{}, "ouch", []byte("stack"))
+	if strings.Contains(e.Error(), "seed") {
+		t.Errorf("zero-ID error should omit identity: %q", e.Error())
+	}
+	if !strings.Contains(e.Error(), "ouch") {
+		t.Errorf("error %q missing panic value", e.Error())
+	}
+}
+
+func TestWrapPreservesSimError(t *testing.T) {
+	id := RunID{Scheme: "s", Workload: "w"}
+	inner := &SimError{ID: id, Op: OpWatchdog, Retryable: true, Err: errors.New("slow")}
+	wrapped := Wrap(RunID{Scheme: "other"}, fmt.Errorf("ctx: %w", inner))
+	var se *SimError
+	if !errors.As(wrapped, &se) || se != inner {
+		t.Errorf("Wrap re-wrapped an existing SimError: %v", wrapped)
+	}
+	if !IsRetryable(wrapped) {
+		t.Error("retryable flag lost through wrapping")
+	}
+	plain := Wrap(id, errors.New("plain"))
+	if !errors.As(plain, &se) || se.ID != id || se.Retryable {
+		t.Errorf("Wrap(plain) = %#v", plain)
+	}
+	if Wrap(id, nil) != nil {
+		t.Error("Wrap(nil) should be nil")
+	}
+}
+
+func TestIsRetryable(t *testing.T) {
+	if IsRetryable(errors.New("x")) {
+		t.Error("plain error is not retryable")
+	}
+	if IsRetryable(nil) {
+		t.Error("nil is not retryable")
+	}
+	if !IsRetryable(&SimError{Op: OpWatchdog, Retryable: true, Err: errors.New("t")}) {
+		t.Error("watchdog error should be retryable")
+	}
+}
+
+func TestNoticefOnce(t *testing.T) {
+	var buf bytes.Buffer
+	prev := SetOutput(&buf)
+	defer SetOutput(prev)
+	ResetNotices()
+	for i := 0; i < 5; i++ {
+		Noticef("test-key", "value %d", i)
+	}
+	Noticef("test-key-2", "other")
+	if got := strings.Count(buf.String(), "value 0"); got != 1 {
+		t.Errorf("notice logged %d times: %q", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "other") {
+		t.Error("distinct key suppressed")
+	}
+}
+
+func TestParseFault(t *testing.T) {
+	cases := []struct {
+		spec       string
+		kind       FaultKind
+		nth, times int64
+	}{
+		{"panic", FaultPanic, 1, 1},
+		{"error:3", FaultError, 3, 1},
+		{"flaky:2:4", FaultFlaky, 2, 4},
+		{"stall:1:2", FaultStall, 1, 2},
+	}
+	for _, c := range cases {
+		k, nth, times, err := ParseFault(c.spec)
+		if err != nil || k != c.kind || nth != c.nth || times != c.times {
+			t.Errorf("ParseFault(%q) = %v %d %d %v", c.spec, k, nth, times, err)
+		}
+	}
+	for _, bad := range []string{"", "explode", "panic:0", "panic:x", "panic:1:0", "panic:1:2:3"} {
+		if _, _, _, err := ParseFault(bad); err == nil {
+			t.Errorf("ParseFault(%q) should fail", bad)
+		}
+	}
+}
+
+func TestInjectFaultFiresAtNth(t *testing.T) {
+	restore := InjectFault(FaultError, 2, 1)
+	defer restore()
+	id := RunID{Scheme: "s", Workload: "w", Seed: 7, TRH: 100}
+	if _, err := RunStart(id); err != nil {
+		t.Fatalf("call 1 should pass: %v", err)
+	}
+	_, err := RunStart(id)
+	var se *SimError
+	if !errors.As(err, &se) || se.Op != OpInject || se.ID != id {
+		t.Fatalf("call 2 should inject: %v", err)
+	}
+	if se.Retryable {
+		t.Error("FaultError must not be retryable")
+	}
+	if _, err := RunStart(id); err != nil {
+		t.Fatalf("call 3 should pass: %v", err)
+	}
+	if FiredCount() != 1 {
+		t.Errorf("fired = %d", FiredCount())
+	}
+	restore()
+	if _, err := RunStart(id); err != nil {
+		t.Errorf("disarmed hook fired: %v", err)
+	}
+}
+
+func TestInjectFaultPanics(t *testing.T) {
+	restore := InjectFault(FaultPanic, 1, 1)
+	defer restore()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected injected panic")
+		}
+	}()
+	RunStart(RunID{Scheme: "s"})
+}
+
+func TestInjectFlakyIsRetryable(t *testing.T) {
+	restore := InjectFault(FaultFlaky, 1, 1)
+	defer restore()
+	_, err := RunStart(RunID{})
+	if !IsRetryable(err) {
+		t.Errorf("flaky fault not retryable: %v", err)
+	}
+}
+
+func TestInjectStallReturnsHandle(t *testing.T) {
+	restore := InjectStall(FaultStall, 1, 1, time.Millisecond)
+	defer restore()
+	f, err := RunStart(RunID{})
+	if err != nil || f == nil {
+		t.Fatalf("stall handle = %v, %v", f, err)
+	}
+	start := time.Now()
+	f.Stall()
+	if time.Since(start) < time.Millisecond {
+		t.Error("Stall returned too fast")
+	}
+	var nilFault *InjectedFault
+	nilFault.Stall() // must not panic
+}
+
+func TestWatchdog(t *testing.T) {
+	if NewWatchdog(RunID{}, 0) != nil {
+		t.Error("zero timeout should disable the watchdog")
+	}
+	var w *Watchdog
+	if err := w.Check(1, 1); err != nil {
+		t.Error("nil watchdog must be inert")
+	}
+	id := RunID{Scheme: "base", Workload: "xz", Seed: 3, TRH: 1000}
+	w = NewWatchdog(id, time.Hour)
+	if err := w.Check(42, 7); err != nil {
+		t.Errorf("within deadline: %v", err)
+	}
+	w = NewWatchdog(id, time.Nanosecond)
+	time.Sleep(2 * time.Millisecond)
+	err := w.Check(42, 7)
+	var se *SimError
+	if !errors.As(err, &se) {
+		t.Fatalf("expected SimError, got %v", err)
+	}
+	if se.Op != OpWatchdog || !se.Retryable || se.ID != id {
+		t.Errorf("watchdog error = %#v", se)
+	}
+	if se.LastNow != 42 || se.LastEvents != 7 {
+		t.Errorf("progress snapshot = (%d, %d)", se.LastNow, se.LastEvents)
+	}
+}

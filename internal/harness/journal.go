@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Entry is one journaled experiment completion. A `-run all` campaign
+// appends an entry per experiment — pass or fail — so a later `-resume`
+// can skip what already succeeded and a `-keep-going` run can summarise
+// failures at exit.
+type Entry struct {
+	ID     string `json:"id"`
+	Status string `json:"status"` // "ok" or "fail"
+	// Error holds the failure text (Status "fail").
+	Error string `json:"error,omitempty"`
+	// Output is the experiment's rendered tables/figures.
+	Output    string `json:"output,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+	// FinishedAt is an RFC3339 timestamp supplied by the caller.
+	FinishedAt string `json:"finished_at,omitempty"`
+}
+
+// StatusOK / StatusFail are the two journal entry states.
+const (
+	StatusOK   = "ok"
+	StatusFail = "fail"
+)
+
+// Journal is an append-only JSONL record of experiment completions. Every
+// Record rewrites the whole file to a temp path and renames it into place,
+// so a crash mid-write can never leave a torn journal: readers see either
+// the previous complete state or the new one.
+type Journal struct {
+	path    string
+	entries []Entry
+}
+
+// OpenJournal loads the journal at path, treating a missing file as empty.
+// Unparseable lines fail loudly rather than silently dropping history.
+func OpenJournal(path string) (*Journal, error) {
+	j := &Journal{path: path}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return j, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("harness: opening journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // experiment outputs can be long
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("harness: journal %s line %d: %w", path, line, err)
+		}
+		j.entries = append(j.entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("harness: reading journal: %w", err)
+	}
+	return j, nil
+}
+
+// Path reports where the journal lives.
+func (j *Journal) Path() string { return j.path }
+
+// Entries returns a copy of the journaled completions, in record order.
+func (j *Journal) Entries() []Entry { return append([]Entry(nil), j.entries...) }
+
+// Completed reports whether id's most recent entry succeeded — a failed
+// attempt followed by a successful re-run counts as completed; the reverse
+// does not.
+func (j *Journal) Completed(id string) bool {
+	for i := len(j.entries) - 1; i >= 0; i-- {
+		if j.entries[i].ID == id {
+			return j.entries[i].Status == StatusOK
+		}
+	}
+	return false
+}
+
+// Failed lists the IDs whose most recent entry is a failure.
+func (j *Journal) Failed() []string {
+	last := make(map[string]string)
+	var order []string
+	for _, e := range j.entries {
+		if _, seen := last[e.ID]; !seen {
+			order = append(order, e.ID)
+		}
+		last[e.ID] = e.Status
+	}
+	var out []string
+	for _, id := range order {
+		if last[id] == StatusFail {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Record appends e and atomically persists the whole journal (write temp +
+// rename). The parent directory is created on first use.
+func (j *Journal) Record(e Entry) error {
+	if e.Status != StatusOK && e.Status != StatusFail {
+		return fmt.Errorf("harness: journal entry %q has invalid status %q", e.ID, e.Status)
+	}
+	j.entries = append(j.entries, e)
+	if err := os.MkdirAll(filepath.Dir(j.path), 0o755); err != nil {
+		return fmt.Errorf("harness: creating journal dir: %w", err)
+	}
+	var buf strings.Builder
+	for _, e := range j.entries {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("harness: encoding journal entry %q: %w", e.ID, err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	tmp := j.path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(buf.String()), 0o644); err != nil {
+		return fmt.Errorf("harness: writing journal: %w", err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		return fmt.Errorf("harness: committing journal: %w", err)
+	}
+	return nil
+}

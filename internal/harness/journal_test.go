@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results", "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Completed("fig9") {
+		t.Error("empty journal should complete nothing")
+	}
+	must := func(e Entry) {
+		t.Helper()
+		if err := j.Record(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Entry{ID: "fig9", Status: StatusOK, Output: "table\n", ElapsedMS: 12})
+	must(Entry{ID: "fig10", Status: StatusFail, Error: "sim panic: ..."})
+	must(Entry{ID: "fig10", Status: StatusOK, ElapsedMS: 30})
+	must(Entry{ID: "fig11", Status: StatusOK})
+	must(Entry{ID: "fig11", Status: StatusFail, Error: "regressed"})
+
+	// Reload from disk: the re-run of fig10 completes it; the late failure
+	// of fig11 un-completes it.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j2.Entries()) != 5 {
+		t.Fatalf("entries = %d", len(j2.Entries()))
+	}
+	for id, want := range map[string]bool{"fig9": true, "fig10": true, "fig11": false, "fig22": false} {
+		if got := j2.Completed(id); got != want {
+			t.Errorf("Completed(%s) = %v, want %v", id, got, want)
+		}
+	}
+	if failed := j2.Failed(); len(failed) != 1 || failed[0] != "fig11" {
+		t.Errorf("Failed() = %v", failed)
+	}
+}
+
+func TestJournalAtomicWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(Entry{ID: "a", Status: StatusOK}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file left behind after rename")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Error("journal not newline-terminated")
+	}
+}
+
+func TestJournalRejectsBadStatus(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "j.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(Entry{ID: "a", Status: "maybe"}); err == nil {
+		t.Error("invalid status accepted")
+	}
+}
+
+func TestJournalRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	if err := os.WriteFile(path, []byte("{\"id\":\"a\",\"status\":\"ok\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); err == nil {
+		t.Error("corrupt journal accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+)
+
+// Watchdog converts a livelocked or crawling simulation into a retryable
+// SimError: the executor calls Check from the system's progress callback,
+// and the first check past the wall-clock deadline aborts the run with a
+// snapshot of the last forward progress (simulated time reached, events
+// drained). A nil *Watchdog is inert, so callers wire it unconditionally.
+//
+// The watchdog is cooperative — it fires from inside the event loop, not
+// from a separate goroutine — which keeps the simulator single-threaded and
+// deterministic on the happy path: a run that finishes under the deadline
+// is bit-identical to one with no watchdog at all.
+type Watchdog struct {
+	id       RunID
+	timeout  time.Duration
+	start    time.Time
+	deadline time.Time
+
+	lastNow    int64
+	lastEvents uint64
+}
+
+// NewWatchdog arms a wall-clock deadline for one simulation attempt;
+// timeout <= 0 returns nil (disabled).
+func NewWatchdog(id RunID, timeout time.Duration) *Watchdog {
+	if timeout <= 0 {
+		return nil
+	}
+	now := time.Now()
+	return &Watchdog{id: id, timeout: timeout, start: now, deadline: now.Add(timeout)}
+}
+
+// Check records the progress snapshot and returns a retryable SimError once
+// the wall-clock deadline has passed. Nil-safe.
+func (w *Watchdog) Check(now int64, events uint64) error {
+	if w == nil {
+		return nil
+	}
+	w.lastNow, w.lastEvents = now, events
+	if time.Since(w.deadline) <= 0 {
+		return nil
+	}
+	return &SimError{
+		ID: w.id, Op: OpWatchdog, Retryable: true,
+		LastNow: now, LastEvents: events,
+		Err: fmt.Errorf("wall-clock deadline %v exceeded after %v (last progress: %d events drained, simulated tick %d)",
+			w.timeout, time.Since(w.start).Round(time.Millisecond), events, now),
+	}
+}

@@ -1,0 +1,184 @@
+package runcache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFailingFillSharedAndDropped proves the error contract of a failing
+// fill: every concurrent waiter receives the error, the entry is not
+// memoized, and a later retry recomputes (and can succeed).
+func TestFailingFillSharedAndDropped(t *testing.T) {
+	c := New(0)
+	key := RunKey{Trace: TraceKey{Kind: "rate", Workload: "w"}, MOPCap: 4}
+	errFill := errors.New("fill failed")
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	// First caller claims the fill and blocks inside it.
+	fillerDone := make(chan error, 1)
+	go func() {
+		_, err := c.Run(key, func() (any, error) {
+			close(started)
+			<-release
+			return nil, errFill
+		})
+		fillerDone <- err
+	}()
+	<-started
+
+	// Waiters block on the in-flight entry's latch (grabbed white-box so
+	// the test is deterministic: they are provably waiting, not racing to
+	// recompute), then the fill fails.
+	c.runs.mu.Lock()
+	e, ok := c.runs.entries[any(key)]
+	c.runs.mu.Unlock()
+	if !ok {
+		t.Fatal("no in-flight entry for key")
+	}
+	const waiters = 8
+	var wg sync.WaitGroup
+	waiterErrs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-e.ready
+			waiterErrs[i] = e.err
+		}(i)
+	}
+	close(release)
+	if err := <-fillerDone; !errors.Is(err, errFill) {
+		t.Fatalf("filler err = %v", err)
+	}
+	wg.Wait()
+	for i, err := range waiterErrs {
+		if !errors.Is(err, errFill) {
+			t.Errorf("waiter %d err = %v, want %v", i, err, errFill)
+		}
+	}
+	if st := c.Stats(); st.RunEntries != 0 {
+		t.Errorf("failed fill memoized: %+v", st)
+	}
+
+	// Retry recomputes and the success is memoized.
+	v, err := c.Run(key, func() (any, error) { return 42, nil })
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("retry = %v, %v", v, err)
+	}
+	v, err = c.Run(key, func() (any, error) {
+		t.Error("successful entry recomputed")
+		return nil, nil
+	})
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("hit after retry = %v, %v", v, err)
+	}
+}
+
+// TestCancelledFillPropagates models a fill aborted by context
+// cancellation: waiters observe context.Canceled and the key is retryable.
+func TestCancelledFillPropagates(t *testing.T) {
+	c := New(0)
+	key := RunKey{Trace: TraceKey{Kind: "rate", Workload: "cancelled"}, MOPCap: 4}
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	fillerDone := make(chan error, 1)
+	go func() {
+		_, err := c.Run(key, func() (any, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+		fillerDone <- err
+	}()
+	<-started
+
+	c.runs.mu.Lock()
+	e, ok := c.runs.entries[any(key)]
+	c.runs.mu.Unlock()
+	if !ok {
+		t.Fatal("no in-flight entry for key")
+	}
+	waiterDone := make(chan error, 1)
+	go func() {
+		<-e.ready
+		waiterDone <- e.err
+	}()
+
+	cancel()
+	if err := <-fillerDone; !errors.Is(err, context.Canceled) {
+		t.Errorf("filler err = %v, want context.Canceled", err)
+	}
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Errorf("waiter err = %v, want context.Canceled", err)
+	}
+	if st := c.Stats(); st.RunEntries != 0 {
+		t.Errorf("cancelled fill memoized: %+v", st)
+	}
+	if _, err := c.Run(key, func() (any, error) { return "ok", nil }); err != nil {
+		t.Fatalf("retry after cancel: %v", err)
+	}
+}
+
+// TestPanickingFillReleasesWaiters proves a fill panic cannot wedge the
+// singleflight latch: waiters get an error, the panic still propagates to
+// the filling goroutine, and the key recomputes afterwards.
+func TestPanickingFillReleasesWaiters(t *testing.T) {
+	c := New(0)
+	key := RunKey{Trace: TraceKey{Kind: "rate", Workload: "poison"}, MOPCap: 4}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var recovered atomic.Value
+	fillerDone := make(chan struct{})
+	go func() {
+		defer close(fillerDone)
+		defer func() { recovered.Store(recover()) }()
+		c.Run(key, func() (any, error) {
+			close(started)
+			<-release
+			panic("poisoned run")
+		})
+	}()
+	<-started
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := c.Run(key, func() (any, error) { return nil, errors.New("late") })
+		waiterDone <- err
+	}()
+	close(release)
+	<-fillerDone
+	if v := recovered.Load(); v != "poisoned run" {
+		t.Fatalf("panic did not propagate to filler: %v", v)
+	}
+	if err := <-waiterDone; err == nil {
+		t.Fatal("waiter saw no error from panicked fill")
+	}
+	if st := c.Stats(); st.RunEntries != 0 {
+		t.Errorf("panicked fill memoized: %+v", st)
+	}
+	if v, err := c.Run(key, func() (any, error) { return "fresh", nil }); err != nil || v.(string) != "fresh" {
+		t.Fatalf("retry after panic = %v, %v", v, err)
+	}
+}
+
+// TestTraceFillFailureShared mirrors the run-table contract on the trace
+// table, whose fills carry an eviction cost.
+func TestTraceFillFailureShared(t *testing.T) {
+	c := New(0)
+	key := TraceKey{Kind: "rate", Workload: "bad", Cores: 1, Accesses: 1}
+	errGen := errors.New("generator failed")
+	if _, err := c.Traces(key, func() (TraceSet, error) { return nil, errGen }); !errors.Is(err, errGen) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := c.Stats(); st.TraceEntries != 0 || st.TraceAccessesHeld != 0 {
+		t.Errorf("failed trace fill retained: %+v", st)
+	}
+	ts, err := c.Traces(key, func() (TraceSet, error) { return TraceSet{{{Line: 5}}}, nil })
+	if err != nil || len(ts) != 1 {
+		t.Fatalf("retry = %v, %v", ts, err)
+	}
+}

@@ -15,6 +15,7 @@
 package runcache
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 )
@@ -155,7 +156,10 @@ func newTable(budget int64) *table {
 
 // do returns the memoized value for key, computing it with fn on the first
 // call. cost is charged against the table budget once fn succeeds; failed
-// computations are not retained.
+// computations are not retained, so a later retry recomputes. If fn panics,
+// the panic propagates to the filling goroutine after waiters have been
+// released with an error and the entry dropped — a poisoned fill can never
+// wedge concurrent waiters on the ready latch.
 func (t *table) do(key any, fn func() (any, int64, error)) (any, error) {
 	t.mu.Lock()
 	t.clock++
@@ -174,7 +178,19 @@ func (t *table) do(key any, fn func() (any, int64, error)) (any, error) {
 	t.mu.Unlock()
 
 	t.misses.Add(1)
+	finished := false
+	defer func() {
+		if finished {
+			return
+		}
+		e.err = errors.New("runcache: fill panicked")
+		close(e.ready)
+		t.mu.Lock()
+		delete(t.entries, key)
+		t.mu.Unlock()
+	}()
 	val, cost, err := fn()
+	finished = true
 	e.val, e.err, e.cost = val, err, cost
 	close(e.ready)
 

@@ -177,8 +177,14 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Pct formats a fraction as a percentage.
-func Pct(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }
+// Pct formats a fraction as a percentage. NaN marks a cell whose run
+// failed (see the experiment harness's degraded grids) and renders FAIL.
+func Pct(f float64) string {
+	if math.IsNaN(f) {
+		return "FAIL"
+	}
+	return fmt.Sprintf("%.2f%%", 100*f)
+}
 
 // SortedKeys returns map keys in sorted order (deterministic reports).
 func SortedKeys[M ~map[string]V, V any](m M) []string {

@@ -41,6 +41,14 @@ type Config struct {
 
 	// MaxTime aborts runaway simulations.
 	MaxTime Tick
+
+	// OnProgress, when non-nil, is invoked periodically from Run's event
+	// loop with the current simulated time and the cumulative count of
+	// events drained (completions delivered plus controller process calls).
+	// Returning a non-nil error aborts the run with that error — the hook
+	// is how wall-clock watchdogs convert livelocks into run failures
+	// without the simulator itself ever reading the host clock.
+	OnProgress func(now Tick, events uint64) error
 }
 
 // DefaultConfig returns the Table-2 machine.
@@ -240,13 +248,25 @@ func (s *System) onDone(core int, token uint64, done Tick) {
 	s.pending.push(completion{at: done, core: core, token: token})
 }
 
+// progressStride is how many event-loop iterations pass between OnProgress
+// callbacks: frequent enough that a watchdog fires promptly, rare enough
+// that the hook costs one masked branch per iteration on the hot path.
+const progressStride = 512
+
 // Run executes until every core finishes its trace (or MaxTime).
 func (s *System) Run() error {
 	for _, c := range s.cores {
 		c.Step()
 	}
 	s.refreshDone()
+	var events, iters uint64
 	for s.finished < len(s.cores) {
+		iters++
+		if s.cfg.OnProgress != nil && iters%progressStride == 0 {
+			if err := s.cfg.OnProgress(s.now, events); err != nil {
+				return err
+			}
+		}
 		t := sim.Forever
 		for _, w := range s.wakes {
 			if w < t {
@@ -267,10 +287,12 @@ func (s *System) Run() error {
 		// before controllers decide what to do at this instant.
 		for len(s.pending) > 0 && s.pending[0].at <= t {
 			c := s.pending.pop()
+			events++
 			s.cores[c.core].Complete(c.token, c.at)
 		}
 		for i, ctrl := range s.ctrls {
 			if s.wakes[i] <= t {
+				events++
 				w, err := ctrl.Process(t)
 				if err != nil {
 					return err

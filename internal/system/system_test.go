@@ -159,3 +159,59 @@ func TestMaxTimeAborts(t *testing.T) {
 		t.Error("expected MaxTime error")
 	}
 }
+
+func TestOnProgressReportsAndAborts(t *testing.T) {
+	// The hook sees monotonically non-decreasing progress on a normal run.
+	cfg := DefaultConfig()
+	var calls int
+	var lastNow Tick
+	var lastEvents uint64
+	cfg.OnProgress = func(now Tick, events uint64) error {
+		calls++
+		if now < lastNow || events < lastEvents {
+			t.Errorf("progress went backwards: (%v,%d) after (%v,%d)", now, events, lastNow, lastEvents)
+		}
+		lastNow, lastEvents = now, events
+		return nil
+	}
+	run(t, cfg, traces(t, "mcf", 4, 5000, 1))
+	if calls == 0 {
+		t.Fatal("OnProgress never called")
+	}
+	if lastEvents == 0 {
+		t.Error("no events drained reported")
+	}
+
+	// A non-nil return aborts the run with exactly that error.
+	abort := &testProgressErr{}
+	cfg = DefaultConfig()
+	cfg.OnProgress = func(now Tick, events uint64) error { return abort }
+	sys, err := New(cfg, traces(t, "mcf", 4, 5000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != abort {
+		t.Fatalf("Run err = %v, want the hook's error", err)
+	}
+}
+
+type testProgressErr struct{}
+
+func (*testProgressErr) Error() string { return "abort from progress hook" }
+
+// TestOnProgressTransparent proves the hook is pure observation: a run with
+// a no-op hook is bit-identical to a run without one.
+func TestOnProgressTransparent(t *testing.T) {
+	plain := run(t, DefaultConfig(), traces(t, "mcf", 2, 4000, 7))
+	cfg := DefaultConfig()
+	cfg.OnProgress = func(Tick, uint64) error { return nil }
+	hooked := run(t, cfg, traces(t, "mcf", 2, 4000, 7))
+	if plain.FinishTime() != hooked.FinishTime() {
+		t.Errorf("finish time diverged: %v vs %v", plain.FinishTime(), hooked.FinishTime())
+	}
+	for i := range plain.Cores() {
+		if plain.Cores()[i].Retired != hooked.Cores()[i].Retired {
+			t.Errorf("core %d retired diverged", i)
+		}
+	}
+}

@@ -12,10 +12,14 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/cpu"
 	"repro/internal/exp"
 	"repro/internal/memctrl"
+	"repro/internal/runcache"
 	"repro/internal/sim"
+	"repro/internal/system"
 	"repro/internal/tracker"
+	"repro/internal/workload"
 )
 
 // benchAddrs pre-generates a deterministic address stream so the timed loop
@@ -111,6 +115,57 @@ func benchMitigated(b *testing.B, cfg exp.RunConfig) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchSystemRun measures the raw event loop: one full system simulation per
+// iteration over pre-recorded traces (recorded outside the timer, replayed
+// each iteration), with a PARA mitigator so controller wakes and DRFM stalls
+// exercise the event queue. No exp-harness or cache layers in the loop.
+func benchSystemRun(b *testing.B, engine system.EngineKind) {
+	b.Helper()
+	gens, err := workload.Rate("mcf", 8, 20_000, 0xbe7c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srcs := make([]runcache.Source, len(gens))
+	for i, g := range gens {
+		srcs[i] = g
+	}
+	ts := runcache.RecordAll(srcs)
+
+	cfg := system.DefaultConfig()
+	cfg.Engine = engine
+	cfg.NewMitigator = func(sub int) memctrl.Mitigator {
+		m, err := tracker.NewPARA(0.01, tracker.ModeDRFMsb, sim.NewRNG(uint64(sub+99)))
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := make([]cpu.Trace, len(ts))
+		for j := range ts {
+			tr[j] = runcache.NewReplayer(ts[j])
+		}
+		sys, err := system.New(cfg, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSystemRun compares the timing-wheel engine against the retained
+// legacy scan-everything loop on an identical mitigated simulation. The
+// wheel sub-benchmark is the tracked number; legacy is the reference that
+// quantifies what the wheel buys.
+func BenchmarkSystemRun(b *testing.B) {
+	b.Run("wheel", func(b *testing.B) { benchSystemRun(b, system.EngineWheel) })
+	b.Run("legacy", func(b *testing.B) { benchSystemRun(b, system.EngineLegacy) })
 }
 
 // BenchmarkMitigatedRun is the tracked mitigated-run canary (the workload

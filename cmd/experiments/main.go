@@ -11,6 +11,9 @@
 //	experiments -run fig19 -quick -cpuprofile cpu.prof -memprofile mem.prof
 //	                                  # then: go tool pprof cpu.prof
 //
+// Performance flags: -perfstats prints per-figure wall-clock and simulator
+// events/sec at exit (cache-served figures report zero events).
+//
 // Robustness flags: -timeout bounds each simulation's wall-clock time
 // (converting livelocks into per-run failures), -journal controls where
 // completions are recorded, and -fault (or EXPERIMENTS_FAULT) injects a
@@ -51,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		nocache = fs.Bool("nocache", false, "disable the process-wide trace/baseline run cache")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write an allocation profile to this file at exit")
+		perfStats = fs.Bool("perfstats", false,
+			"print per-figure wall-clock and simulator events/sec at exit")
 
 		timeout = fs.Duration("timeout", 0,
 			"wall-clock deadline per simulation (0 = off; '-run all' defaults to 15m)")
@@ -171,18 +176,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		o.Workloads = strings.Split(*wls, ",")
 	}
 
+	var perf []perfEntry
 	runOne := func(e exp.Experiment) error {
 		if *resume && journal.Completed(e.ID) {
 			fmt.Fprintf(stdout, "--- %s: already completed, skipping (resume) ---\n\n", e.ID)
 			return nil
 		}
 		start := time.Now()
+		evStart := exp.SimEvents()
 		fmt.Fprintf(stdout, "--- %s: %s ---\n", e.ID, e.Desc)
 		var buf bytes.Buffer
 		ro := o
 		ro.Out = io.MultiWriter(stdout, &buf)
 		err := e.Run(ro)
 		elapsed := time.Since(start)
+		if *perfStats {
+			perf = append(perf, perfEntry{
+				id:      e.ID,
+				elapsed: elapsed,
+				events:  exp.SimEvents() - evStart,
+			})
+		}
 		if journal != nil {
 			ent := harness.Entry{
 				ID:         e.ID,
@@ -213,11 +227,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			failed = append(failed, e.ID)
 			if !*keepGoing {
 				printCacheStats(stdout)
+				if *perfStats {
+					printPerfStats(stdout, perf)
+				}
 				return 1
 			}
 		}
 	}
 	printCacheStats(stdout)
+	if *perfStats {
+		printPerfStats(stdout, perf)
+	}
 	if len(failed) > 0 {
 		fmt.Fprintf(stderr, "experiments: %d of %d failed: %s\n",
 			len(failed), len(targets), strings.Join(failed, ", "))
@@ -231,6 +251,41 @@ func firstNonEmpty(a, b string) string {
 		return a
 	}
 	return b
+}
+
+// perfEntry is one experiment's contribution to the -perfstats report.
+type perfEntry struct {
+	id      string
+	elapsed time.Duration
+	events  uint64
+}
+
+// printPerfStats reports per-figure wall-clock and event throughput. The
+// events column counts only simulations actually executed during that
+// figure: a figure fully served by the run cache shows zero events, which is
+// exactly the cache doing its job, not a measurement error.
+func printPerfStats(w io.Writer, perf []perfEntry) {
+	if len(perf) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "[perfstats]")
+	var totalEv uint64
+	var totalWall time.Duration
+	for _, p := range perf {
+		totalEv += p.events
+		totalWall += p.elapsed
+		fmt.Fprintf(w, "  %-20s %10v  %12d events  %s\n",
+			p.id, p.elapsed.Round(time.Millisecond), p.events, eventsPerSec(p.events, p.elapsed))
+	}
+	fmt.Fprintf(w, "  %-20s %10v  %12d events  %s\n",
+		"total", totalWall.Round(time.Millisecond), totalEv, eventsPerSec(totalEv, totalWall))
+}
+
+func eventsPerSec(ev uint64, d time.Duration) string {
+	if d <= 0 || ev == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fM ev/s", float64(ev)/d.Seconds()/1e6)
 }
 
 // printCacheStats reports how much redundant work the run cache absorbed

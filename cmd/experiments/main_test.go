@@ -131,6 +131,21 @@ func TestKeepGoingRunsPastFailure(t *testing.T) {
 	}
 }
 
+func TestPerfStatsPrintsReport(t *testing.T) {
+	// table1 is analytic (no full-system simulation), so the report must
+	// show the figure with zero events and a "-" throughput, plus a total.
+	code, out, errOut := runCLI(t, "-run", "table1", "-quick", "-journal", "off", "-perfstats")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "[perfstats]") {
+		t.Fatalf("missing perfstats block:\n%s", out)
+	}
+	if !strings.Contains(out, "table1") || !strings.Contains(out, "total") {
+		t.Errorf("perfstats missing rows:\n%s", out)
+	}
+}
+
 func TestBadFaultSpecIsUsageError(t *testing.T) {
 	code, _, errOut := runCLI(t, "-run", "table1", "-fault", "frobnicate:1")
 	if code != 2 {

@@ -3,16 +3,26 @@
 // write-back and write-allocate. Only LLC misses reach the memory
 // controller, so the cache determines the MPKI and row-locality the DRAM
 // model observes.
+//
+// Layout: the hit path is the hottest loop of a whole-system run (one call
+// per core memory access), so the ways of a set are split into two flat
+// parallel arrays — a tag word and a metadata word per line — instead of an
+// array of line structs. A 16-way set's tags then occupy two cache lines
+// (128 B) and the search loop issues one load per way; the metadata word
+// packs the LRU timestamp above valid/dirty bits and is only touched on a
+// candidate match or a fill. Timestamps are unique (one access bumps one
+// line), so comparing packed words orders victims exactly as comparing raw
+// timestamps would.
 package cache
 
 import "fmt"
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	used  uint64 // LRU timestamp (monotone access counter)
-}
+// meta word: bit 0 = valid, bit 1 = dirty, bits 2.. = LRU timestamp.
+const (
+	metaValid = 1 << 0
+	metaDirty = 1 << 1
+	metaShift = 2
+)
 
 // Config sizes the cache.
 type Config struct {
@@ -30,8 +40,12 @@ func DefaultConfig() Config {
 // line address (physical address / LineBytes).
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	tags     []uint64 // nsets × ways, flat
+	meta     []uint64 // parallel to tags
+	ways     int
+	nsets    int
 	setMask  uint64
+	tagShift uint64
 	tick     uint64
 	Hits     uint64
 	Misses   uint64
@@ -52,12 +66,15 @@ func New(cfg Config) (*Cache, error) {
 	if nsets&(nsets-1) != 0 {
 		return nil, fmt.Errorf("cache: set count %d not a power of two", nsets)
 	}
-	sets := make([][]line, nsets)
-	backing := make([]line, lines)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
-	}
-	return &Cache{cfg: cfg, sets: sets, setMask: uint64(nsets - 1)}, nil
+	return &Cache{
+		cfg:      cfg,
+		tags:     make([]uint64, lines),
+		meta:     make([]uint64, lines),
+		ways:     cfg.Ways,
+		nsets:    nsets,
+		setMask:  uint64(nsets - 1),
+		tagShift: uint64(len64(uint64(nsets - 1))),
+	}, nil
 }
 
 // Result describes the outcome of an access.
@@ -73,53 +90,65 @@ type Result struct {
 // lineAddr. Stores allocate on miss and mark the line dirty.
 func (c *Cache) Access(lineAddr uint64, isWrite bool) Result {
 	c.tick++
-	set := c.sets[lineAddr&c.setMask]
-	tag := lineAddr >> uint64(len64(c.setMask))
+	base := int(lineAddr&c.setMask) * c.ways
+	tag := lineAddr >> c.tagShift
+	tags := c.tags[base : base+c.ways]
+	meta := c.meta[base : base+c.ways]
 
-	// Hit path.
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].used = c.tick
+	// Hit path. A tag can match a never-filled way (tags start at zero), so
+	// a candidate must also be valid.
+	for i := range tags {
+		if tags[i] == tag && meta[i]&metaValid != 0 {
+			m := c.tick<<metaShift | meta[i]&(metaValid|metaDirty)
 			if isWrite {
-				set[i].dirty = true
+				m |= metaDirty
 			}
+			meta[i] = m
 			c.Hits++
 			return Result{Hit: true}
 		}
 	}
 	c.Misses++
 
-	// Miss: pick an invalid way, else the LRU way.
+	// Miss: pick an invalid way, else the LRU way (packed-word compare;
+	// timestamps are unique, so the order matches comparing them raw).
 	victim := 0
-	for i := range set {
-		if !set[i].valid {
+	for i := range meta {
+		if meta[i]&metaValid == 0 {
 			victim = i
 			goto fill
 		}
-		if set[i].used < set[victim].used {
+		if meta[i] < meta[victim] {
 			victim = i
 		}
 	}
 fill:
 	res := Result{}
-	if set[victim].valid {
+	if m := meta[victim]; m&metaValid != 0 {
 		c.Evicts++
-		if set[victim].dirty {
+		if m&metaDirty != 0 {
 			c.Writebks++
 			res.Writeback = true
-			res.WritebackAddr = set[victim].tag<<uint64(len64(c.setMask)) | (lineAddr & c.setMask)
+			res.WritebackAddr = tags[victim]<<c.tagShift | (lineAddr & c.setMask)
 		}
 	}
-	set[victim] = line{tag: tag, valid: true, dirty: isWrite, used: c.tick}
+	tags[victim] = tag
+	m := c.tick<<metaShift | metaValid
+	if isWrite {
+		m |= metaDirty
+	}
+	meta[victim] = m
 	return res
 }
 
 // Probe reports whether lineAddr is resident without touching LRU state.
 func (c *Cache) Probe(lineAddr uint64) bool {
-	set := c.sets[lineAddr&c.setMask]
-	tag := lineAddr >> uint64(len64(c.setMask))
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	base := int(lineAddr&c.setMask) * c.ways
+	tag := lineAddr >> c.tagShift
+	tags := c.tags[base : base+c.ways]
+	meta := c.meta[base : base+c.ways]
+	for i := range tags {
+		if tags[i] == tag && meta[i]&metaValid != 0 {
 			return true
 		}
 	}
@@ -136,7 +165,7 @@ func (c *Cache) MissRate() float64 {
 }
 
 // Sets reports the number of sets (for tests).
-func (c *Cache) Sets() int { return len(c.sets) }
+func (c *Cache) Sets() int { return c.nsets }
 
 func len64(mask uint64) int {
 	n := 0

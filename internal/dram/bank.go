@@ -12,120 +12,111 @@ type DAR struct {
 	Row   uint32
 }
 
-// Bank models the state of one DDR5 bank: the row buffer, timing horizons
-// derived from previously issued commands, and the DAR.
+// Bank is a read-only snapshot of one bank's state, assembled on demand
+// from the sub-channel's struct-of-arrays storage (see SubChannel). It
+// exists for tests and inspection; the hot paths in memctrl read the
+// per-field accessors (OpenRow, EarliestActivate, ...) directly so the
+// controller's inner loops walk contiguous arrays instead of chasing
+// per-bank pointers.
 type Bank struct {
 	// OpenRow is the row currently in the row buffer, or NoRow.
 	OpenRow int64
-
-	// BusyUntil is the end of any full-bank stall (REF, NRR, DRFM). No
-	// command may be issued to the bank before this time.
+	// BusyUntil is the end of any full-bank stall (REF, NRR, DRFM).
 	BusyUntil Tick
-
-	// nextAct is the earliest time an ACT may be issued (tRC after the
-	// previous ACT and tRP after the last precharge).
-	nextAct Tick
-	// nextCol is the earliest time a RD/WR may be issued (tRCD after ACT).
-	nextCol Tick
-	// nextPre is the earliest time a PRE may be issued (tRAS after ACT and
-	// after the last column burst has drained).
-	nextPre Tick
-
 	// DAR is the bank's DRFM Address Register.
 	DAR DAR
-
-	// hasActHistory records that the bank has seen at least one activation,
-	// which is what the optional in-DRAM fallback sampler (paper footnote 1)
-	// needs to have a candidate row to mitigate.
-	hasActHistory bool
-
-	// Stats.
-	Activations uint64 // ACT commands issued to this bank
-	Mitigations uint64 // victim-refreshes performed for rows of this bank
+	// Activations counts ACT commands issued to this bank.
+	Activations uint64
+	// Mitigations counts victim-refreshes performed for rows of this bank.
+	Mitigations uint64
 }
 
-// EarliestActivate reports the earliest time an ACT is legal, assuming the
-// bank is (or will be) precharged. It does not check OpenRow; callers must
-// precharge first if a row is open.
-func (b *Bank) EarliestActivate() Tick { return maxTick(b.BusyUntil, b.nextAct) }
-
-// EarliestColumn reports the earliest time a RD/WR to the open row is legal.
-func (b *Bank) EarliestColumn() Tick { return maxTick(b.BusyUntil, b.nextCol) }
-
-// EarliestPrecharge reports the earliest time a PRE is legal.
-func (b *Bank) EarliestPrecharge() Tick { return maxTick(b.BusyUntil, b.nextPre) }
-
-// Idle reports whether the bank is precharged and past any stall at time now.
-func (b *Bank) Idle(now Tick) bool { return b.OpenRow == NoRow && now >= b.BusyUntil }
-
-func maxTick(a, b Tick) Tick {
-	if a > b {
-		return a
+// Bank assembles the snapshot view of bank b. Mutation is via commands.
+func (s *SubChannel) Bank(b int) Bank {
+	return Bank{
+		OpenRow:     s.openRow[b],
+		BusyUntil:   s.busyUntil[b],
+		DAR:         DAR{Valid: s.darValid[b], Row: s.darRow[b]},
+		Activations: s.bankActs[b],
+		Mitigations: s.bankMits[b],
 	}
-	return b
 }
 
-// activate opens row at time now. The device wrapper validates legality.
-func (b *Bank) activate(now Tick, row uint32, t Timings) error {
-	if b.OpenRow != NoRow {
-		return fmt.Errorf("dram: ACT to bank with open row %d", b.OpenRow)
+// The per-bank command primitives below maintain the invariant that the
+// ready* arrays always hold the *effective* earliest-legal command times
+// (the old per-Bank max(BusyUntil, next<cmd>) folded in at mutation time),
+// so every scheduler query is a single contiguous array load.
+
+// activate opens row on bank b at time now.
+func (s *SubChannel) activate(now Tick, b int, row uint32) error {
+	if s.openRow[b] != NoRow {
+		return fmt.Errorf("dram: ACT to bank with open row %d", s.openRow[b])
 	}
-	if now < b.EarliestActivate() {
-		return fmt.Errorf("dram: ACT at %v before earliest-legal %v", now, b.EarliestActivate())
+	if now < s.readyAct[b] {
+		return fmt.Errorf("dram: ACT at %v before earliest-legal %v", now, s.readyAct[b])
 	}
-	b.OpenRow = int64(row)
-	b.nextAct = now + t.TRC
-	b.nextCol = now + t.TRCD
-	b.nextPre = now + t.TRAS
-	b.hasActHistory = true
-	b.Activations++
+	t := s.Timings
+	s.openRow[b] = int64(row)
+	// now >= readyAct >= busyUntil, so the new horizons dominate the stall.
+	s.readyAct[b] = now + t.TRC
+	s.readyCol[b] = now + t.TRCD
+	s.readyPre[b] = now + t.TRAS
+	s.hasHist[b] = true
+	s.bankActs[b]++
 	return nil
 }
 
-// column performs a RD/WR burst issued at now; lastData is when the final
-// beat leaves the bus. Precharge must wait for the burst to drain.
-func (b *Bank) column(now Tick, t Timings) (lastData Tick, err error) {
-	if b.OpenRow == NoRow {
+// bankColumn performs a RD/WR burst on bank b issued at now; lastData is
+// when the final beat leaves the bus. Precharge must wait for the burst.
+func (s *SubChannel) bankColumn(now Tick, b int) (lastData Tick, err error) {
+	if s.openRow[b] == NoRow {
 		return 0, fmt.Errorf("dram: column access to closed bank")
 	}
-	if now < b.EarliestColumn() {
-		return 0, fmt.Errorf("dram: column at %v before earliest-legal %v", now, b.EarliestColumn())
+	if now < s.readyCol[b] {
+		return 0, fmt.Errorf("dram: column at %v before earliest-legal %v", now, s.readyCol[b])
 	}
-	lastData = now + t.TCL + t.TBUS
-	if lastData > b.nextPre {
-		b.nextPre = lastData
+	lastData = now + s.Timings.TCL + s.Timings.TBUS
+	if lastData > s.readyPre[b] {
+		s.readyPre[b] = lastData
 	}
 	return lastData, nil
 }
 
-// precharge closes the row at now; if sample is set the closing row address
-// is written into the DAR (Pre+Sample). Pre+Sample of an already-valid DAR
-// overwrites it (the MC avoids this in every scheme by flushing with DRFM
-// first; the device permits it, as the real device would).
-func (b *Bank) precharge(now Tick, sample bool, t Timings) error {
-	if b.OpenRow == NoRow {
+// precharge closes bank b's row at now; if sample is set the closing row
+// address is written into the DAR (Pre+Sample). Pre+Sample of an
+// already-valid DAR overwrites it (the MC avoids this in every scheme by
+// flushing with DRFM first; the device permits it, as the real device would).
+func (s *SubChannel) precharge(now Tick, b int, sample bool) error {
+	if s.openRow[b] == NoRow {
 		return fmt.Errorf("dram: PRE to closed bank")
 	}
-	if now < b.EarliestPrecharge() {
-		return fmt.Errorf("dram: PRE at %v before earliest-legal %v", now, b.EarliestPrecharge())
+	if now < s.readyPre[b] {
+		return fmt.Errorf("dram: PRE at %v before earliest-legal %v", now, s.readyPre[b])
 	}
 	if sample {
-		b.DAR = DAR{Valid: true, Row: uint32(b.OpenRow)}
+		s.darValid[b] = true
+		s.darRow[b] = uint32(s.openRow[b])
 	}
-	b.OpenRow = NoRow
-	end := now + t.TRP
-	if end > b.nextAct {
-		b.nextAct = end
+	s.openRow[b] = NoRow
+	if end := now + s.Timings.TRP; end > s.readyAct[b] {
+		s.readyAct[b] = end
 	}
 	return nil
 }
 
-// stall blocks the bank until end (REF/NRR/DRFM occupancy).
-func (b *Bank) stall(end Tick) {
-	if end > b.BusyUntil {
-		b.BusyUntil = end
+// stall blocks bank b until end (REF/NRR/DRFM occupancy). Every command
+// class waits out a stall, so all three ready horizons move together.
+func (s *SubChannel) stall(b int, end Tick) {
+	if end > s.busyUntil[b] {
+		s.busyUntil[b] = end
 	}
-	if end > b.nextAct {
-		b.nextAct = end
+	if end > s.readyAct[b] {
+		s.readyAct[b] = end
+	}
+	if end > s.readyCol[b] {
+		s.readyCol[b] = end
+	}
+	if end > s.readyPre[b] {
+		s.readyPre[b] = end
 	}
 }

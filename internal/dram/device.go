@@ -19,9 +19,36 @@ type Mitigation struct {
 
 // SubChannel models one DDR5 sub-channel: 32 banks, a shared 32-bit data
 // bus, and the DRFM machinery. All times are absolute simulation ticks.
+//
+// Bank state lives in struct-of-arrays form owned by the sub-channel: the
+// memory controller's scheduler scans every bank's open row and ready
+// horizons on each pick, so each field is one contiguous array the scan
+// walks linearly instead of hopping between per-bank structs. The ready*
+// arrays store effective earliest-legal command times with any full-bank
+// stall already folded in (see bank.go), making each scheduler query a
+// single indexed load.
 type SubChannel struct {
 	Timings Timings
-	Banks   []Bank
+
+	// openRow[b] is the row in bank b's row buffer, or NoRow.
+	openRow []int64
+	// busyUntil[b] is the end of any full-bank stall (REF, NRR, DRFM).
+	busyUntil []Tick
+	// readyAct/readyCol/readyPre are the effective earliest-legal times for
+	// ACT, RD/WR (bank-local: excluding the shared data bus), and PRE.
+	readyAct []Tick
+	readyCol []Tick
+	readyPre []Tick
+	// darValid/darRow are the per-bank DRFM Address Registers.
+	darValid []bool
+	darRow   []uint32
+	// hasHist[b] records that bank b has seen at least one activation,
+	// which is what the optional in-DRAM fallback sampler (paper footnote 1)
+	// needs to have a candidate row to mitigate.
+	hasHist []bool
+	// bankActs/bankMits are per-bank command stats (see the Bank view).
+	bankActs []uint64
+	bankMits []uint64
 
 	// InDRAMFallback enables the optional behaviour of the paper's
 	// footnote 1: a DRFM arriving at a bank with an invalid DAR mitigates a
@@ -38,6 +65,10 @@ type SubChannel struct {
 	// (all-bank) command paths. Per-instance so concurrent sub-channels
 	// never share mutable state.
 	all []int
+	// sameBank[k] is the cached DRFMsb target set for bank-position k: the
+	// bank with index k within each bankgroup (§2.5). Computed once so the
+	// per-mitigation SameBankSet call allocates nothing.
+	sameBank [][]int
 
 	// Stats.
 	Reads, Writes   uint64
@@ -62,29 +93,58 @@ func NewSubChannel(t Timings, banks int) (*SubChannel, error) {
 	if banks <= 0 || banks%BanksPerGroup != 0 {
 		return nil, fmt.Errorf("dram: bank count %d not a multiple of %d", banks, BanksPerGroup)
 	}
-	s := &SubChannel{Timings: t, Banks: make([]Bank, banks), all: make([]int, banks)}
-	for i := range s.Banks {
-		s.Banks[i].OpenRow = NoRow
+	s := &SubChannel{
+		Timings:   t,
+		openRow:   make([]int64, banks),
+		busyUntil: make([]Tick, banks),
+		readyAct:  make([]Tick, banks),
+		readyCol:  make([]Tick, banks),
+		readyPre:  make([]Tick, banks),
+		darValid:  make([]bool, banks),
+		darRow:    make([]uint32, banks),
+		hasHist:   make([]bool, banks),
+		bankActs:  make([]uint64, banks),
+		bankMits:  make([]uint64, banks),
+		all:       make([]int, banks),
+		sameBank:  make([][]int, BanksPerGroup),
+	}
+	for i := range s.openRow {
+		s.openRow[i] = NoRow
 		s.all[i] = i
+	}
+	for k := range s.sameBank {
+		set := make([]int, 0, banks/BanksPerGroup)
+		for g := 0; g < banks/BanksPerGroup; g++ {
+			set = append(set, g*BanksPerGroup+k)
+		}
+		s.sameBank[k] = set
 	}
 	return s, nil
 }
 
-// Bank returns the bank state for index b (for inspection; mutation is via
-// commands).
-func (s *SubChannel) Bank(b int) *Bank { return &s.Banks[b] }
+// NumBanks reports the bank count.
+func (s *SubChannel) NumBanks() int { return len(s.openRow) }
 
 // --- earliest-legal queries -------------------------------------------------
+
+// OpenRow reports the row in bank b's row buffer, or NoRow.
+func (s *SubChannel) OpenRow(b int) int64 { return s.openRow[b] }
 
 // EarliestActivate reports when an ACT to bank b would be legal (the bank
 // must already be, or become, precharged by then; an open row makes ACT
 // illegal regardless of time).
-func (s *SubChannel) EarliestActivate(b int) Tick { return s.Banks[b].EarliestActivate() }
+func (s *SubChannel) EarliestActivate(b int) Tick { return s.readyAct[b] }
+
+// EarliestColumnLocal reports when a RD/WR to bank b's open row would be
+// legal considering only bank-local horizons — the shared data bus is
+// excluded. Schedulers use it to build aggregates that stay valid until a
+// bank-local event, applying the bus horizon at query time.
+func (s *SubChannel) EarliestColumnLocal(b int) Tick { return s.readyCol[b] }
 
 // EarliestColumn reports when a RD/WR to bank b's open row would be legal,
 // including data-bus availability.
 func (s *SubChannel) EarliestColumn(b int) Tick {
-	e := s.Banks[b].EarliestColumn()
+	e := s.readyCol[b]
 	// The data burst starts TCL after the command; the bus must be free then.
 	if busReady := s.busFreeAt - s.Timings.TCL; busReady > e {
 		e = busReady
@@ -93,7 +153,12 @@ func (s *SubChannel) EarliestColumn(b int) Tick {
 }
 
 // EarliestPrecharge reports when a PRE to bank b would be legal.
-func (s *SubChannel) EarliestPrecharge(b int) Tick { return s.Banks[b].EarliestPrecharge() }
+func (s *SubChannel) EarliestPrecharge(b int) Tick { return s.readyPre[b] }
+
+// idle reports whether bank b is precharged and past any stall at time now.
+func (s *SubChannel) idle(b int, now Tick) bool {
+	return s.openRow[b] == NoRow && now >= s.busyUntil[b]
+}
 
 // EarliestAllIdle reports the earliest time at which every bank in set (nil =
 // all banks) is precharged and unstalled, assuming no further commands. Banks
@@ -105,33 +170,28 @@ func (s *SubChannel) EarliestAllIdle(set []int) (Tick, bool) {
 		idx = s.all
 	}
 	for _, b := range idx {
-		bank := &s.Banks[b]
-		if bank.OpenRow != NoRow {
+		if s.openRow[b] != NoRow {
 			return 0, false
 		}
-		if bank.BusyUntil > t {
-			t = bank.BusyUntil
+		if s.busyUntil[b] > t {
+			t = s.busyUntil[b]
 		}
 	}
 	return t, true
 }
 
 // SameBankSet returns the DRFMsb target set for bank b: the bank with the
-// same index within each of the 8 bankgroups (§2.5).
+// same index within each of the 8 bankgroups (§2.5). The returned slice is
+// shared and must not be mutated.
 func (s *SubChannel) SameBankSet(b int) []int {
-	k := b % BanksPerGroup
-	set := make([]int, 0, len(s.Banks)/BanksPerGroup)
-	for g := 0; g < len(s.Banks)/BanksPerGroup; g++ {
-		set = append(set, g*BanksPerGroup+k)
-	}
-	return set
+	return s.sameBank[b%BanksPerGroup]
 }
 
 // --- commands ----------------------------------------------------------------
 
 // Activate issues ACT(row) to bank b at time now.
 func (s *SubChannel) Activate(now Tick, b int, row uint32) error {
-	return s.Banks[b].activate(now, row, s.Timings)
+	return s.activate(now, b, row)
 }
 
 // Read issues a column read at now; it returns the time the data has fully
@@ -158,7 +218,7 @@ func (s *SubChannel) column(now Tick, b int) (Tick, error) {
 	if start := s.busFreeAt - s.Timings.TCL; now < start {
 		return 0, fmt.Errorf("dram: column at %v would overlap busy data bus (free at %v)", now, s.busFreeAt)
 	}
-	done, err := s.Banks[b].column(now, s.Timings)
+	done, err := s.bankColumn(now, b)
 	if err != nil {
 		return 0, err
 	}
@@ -169,7 +229,7 @@ func (s *SubChannel) column(now Tick, b int) (Tick, error) {
 
 // Precharge issues PRE (sample=false) or Pre+Sample (sample=true) to bank b.
 func (s *SubChannel) Precharge(now Tick, b int, sample bool) error {
-	return s.Banks[b].precharge(now, sample, s.Timings)
+	return s.precharge(now, b, sample)
 }
 
 // Refresh issues an all-bank REF at now. Every bank must be precharged and
@@ -183,8 +243,8 @@ func (s *SubChannel) Refresh(now Tick) error {
 		return fmt.Errorf("dram: REF at %v before banks idle at %v", now, ready)
 	}
 	end := now + s.Timings.TRFC
-	for i := range s.Banks {
-		s.Banks[i].stall(end)
+	for b := range s.openRow {
+		s.stall(b, end)
 	}
 	s.Refreshes++
 	return nil
@@ -194,12 +254,11 @@ func (s *SubChannel) Refresh(now Tick) error {
 // bank is blocked for tNRR while the device refreshes the row's victims.
 // The bank must be precharged and unstalled.
 func (s *SubChannel) NRR(now Tick, b int, row uint32) ([]Mitigation, error) {
-	bank := &s.Banks[b]
-	if !bank.Idle(now) {
+	if !s.idle(b, now) {
 		return nil, fmt.Errorf("dram: NRR to non-idle bank %d at %v", b, now)
 	}
-	bank.stall(now + s.Timings.TNRR)
-	bank.Mitigations++
+	s.stall(b, now+s.Timings.TNRR)
+	s.bankMits[b]++
 	s.NRRs++
 	s.MitigationCount++
 	return []Mitigation{{Bank: b, Row: row}}, nil
@@ -233,16 +292,16 @@ func (s *SubChannel) drfm(now Tick, set []int, dur Tick, counter *uint64) ([]Mit
 	end := now + dur
 	var mits []Mitigation
 	for _, b := range idx {
-		bank := &s.Banks[b]
-		bank.stall(end)
-		if bank.DAR.Valid {
-			mits = append(mits, Mitigation{Bank: b, Row: bank.DAR.Row})
-			bank.DAR = DAR{}
-			bank.Mitigations++
-		} else if s.InDRAMFallback && bank.hasActHistory {
+		s.stall(b, end)
+		if s.darValid[b] {
+			mits = append(mits, Mitigation{Bank: b, Row: s.darRow[b]})
+			s.darValid[b] = false
+			s.darRow[b] = 0
+			s.bankMits[b]++
+		} else if s.InDRAMFallback && s.hasHist[b] {
 			// Footnote 1: the device privately mitigates a row its own
 			// tracker picked. Not reported to the MC, not counted as RLP.
-			bank.Mitigations++
+			s.bankMits[b]++
 			s.FallbackMitigations++
 		}
 	}
@@ -261,7 +320,7 @@ func (s *SubChannel) ValidDARs(set []int) int {
 	}
 	n := 0
 	for _, b := range idx {
-		if s.Banks[b].DAR.Valid {
+		if s.darValid[b] {
 			n++
 		}
 	}

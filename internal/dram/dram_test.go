@@ -46,7 +46,7 @@ func TestNewSubChannelValidation(t *testing.T) {
 		t.Error("expected error for 30 banks (not a multiple of 4)")
 	}
 	dev := newDev(t)
-	for b := range dev.Banks {
+	for b := 0; b < dev.NumBanks(); b++ {
 		if dev.Bank(b).OpenRow != NoRow {
 			t.Fatalf("bank %d boots with open row %d", b, dev.Bank(b).OpenRow)
 		}
@@ -253,7 +253,7 @@ func TestRefresh(t *testing.T) {
 	if err := dev.Refresh(0); err != nil {
 		t.Fatal(err)
 	}
-	for b := range dev.Banks {
+	for b := 0; b < dev.NumBanks(); b++ {
 		if dev.Bank(b).BusyUntil != dev.Timings.TRFC {
 			t.Fatalf("bank %d not stalled by REF", b)
 		}
@@ -322,7 +322,7 @@ func TestStallAll(t *testing.T) {
 		t.Fatal(err)
 	}
 	dev.StallAll(100, sim.NS(600))
-	for b := range dev.Banks {
+	for b := 0; b < dev.NumBanks(); b++ {
 		if dev.Bank(b).BusyUntil != 100+sim.NS(600) {
 			t.Fatalf("bank %d not stalled", b)
 		}

@@ -16,8 +16,8 @@ const SkipRow uint32 = ^uint32(0)
 // bank count. Every bank must be precharged and unstalled at now. Each dummy
 // activation is a real activation (it hammers); callers must account for it.
 func (s *SubChannel) ExplicitSampleAll(now Tick, rows []uint32, dur Tick) error {
-	if len(rows) != len(s.Banks) {
-		return fmt.Errorf("dram: ExplicitSampleAll with %d rows for %d banks", len(rows), len(s.Banks))
+	if len(rows) != len(s.openRow) {
+		return fmt.Errorf("dram: ExplicitSampleAll with %d rows for %d banks", len(rows), len(s.openRow))
 	}
 	ready, ok := s.EarliestAllIdle(nil)
 	if !ok {
@@ -27,12 +27,12 @@ func (s *SubChannel) ExplicitSampleAll(now Tick, rows []uint32, dur Tick) error 
 		return fmt.Errorf("dram: ExplicitSampleAll at %v before banks idle at %v", now, ready)
 	}
 	end := now + dur
-	for b := range s.Banks {
-		bank := &s.Banks[b]
-		bank.stall(end)
+	for b := range s.openRow {
+		s.stall(b, end)
 		if rows[b] != SkipRow {
-			bank.DAR = DAR{Valid: true, Row: rows[b]}
-			bank.Activations++
+			s.darValid[b] = true
+			s.darRow[b] = rows[b]
+			s.bankActs[b]++
 		}
 	}
 	return nil
@@ -43,14 +43,14 @@ func (s *SubChannel) ExplicitSampleAll(now Tick, rows []uint32, dur Tick) error 
 // for tRAS + tRP (one full row cycle) and its DAR is left holding row.
 // The bank must be precharged and unstalled at now.
 func (s *SubChannel) ExplicitSample(now Tick, b int, row uint32) (end Tick, err error) {
-	bank := &s.Banks[b]
-	if !bank.Idle(now) {
+	if !s.idle(b, now) {
 		return 0, fmt.Errorf("dram: ExplicitSample to non-idle bank %d at %v", b, now)
 	}
 	end = now + s.Timings.TRAS + s.Timings.TRP
-	bank.stall(end)
-	bank.DAR = DAR{Valid: true, Row: row}
-	bank.Activations++
+	s.stall(b, end)
+	s.darValid[b] = true
+	s.darRow[b] = row
+	s.bankActs[b]++
 	return end, nil
 }
 
@@ -59,7 +59,7 @@ func (s *SubChannel) ExplicitSample(now Tick, b int, row uint32) (end Tick, err 
 // open; only timing horizons move.
 func (s *SubChannel) StallAll(now Tick, dur Tick) {
 	end := now + dur
-	for b := range s.Banks {
-		s.Banks[b].stall(end)
+	for b := range s.openRow {
+		s.stall(b, end)
 	}
 }

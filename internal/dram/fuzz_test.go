@@ -96,7 +96,7 @@ func TestRandomLegalSequences(t *testing.T) {
 				mitigated += uint64(len(mits))
 				now = tt
 			case 5: // refresh: close everything first
-				for sb := range dev.Banks {
+				for sb := 0; sb < dev.NumBanks(); sb++ {
 					if dev.Bank(sb).OpenRow != NoRow {
 						tt := sim.MaxTick(now, dev.EarliestPrecharge(sb))
 						if err := dev.Precharge(tt, sb, false); err != nil {
@@ -105,7 +105,7 @@ func TestRandomLegalSequences(t *testing.T) {
 					}
 				}
 				tt := now
-				for sb := range dev.Banks {
+				for sb := 0; sb < dev.NumBanks(); sb++ {
 					if e := dev.EarliestActivate(sb); e > tt {
 						tt = e
 					}

@@ -1,0 +1,243 @@
+package evq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refQueue is the trivially-correct reference: a sorted-on-demand slice
+// popped in (At, Kind, A, B) order, batched per tick.
+type refQueue struct {
+	events []Event
+}
+
+func (r *refQueue) push(e Event, floor int64) {
+	// Mirror the wheel's clamp of past events to the current floor.
+	if e.At < floor {
+		e.At = floor
+	}
+	r.events = append(r.events, e)
+}
+
+func (r *refQueue) nextAt() (int64, bool) {
+	if len(r.events) == 0 {
+		return 0, false
+	}
+	min := r.events[0].At
+	for _, e := range r.events[1:] {
+		if e.At < min {
+			min = e.At
+		}
+	}
+	return min, true
+}
+
+func (r *refQueue) popBatch(at int64) []Event {
+	var batch []Event
+	rest := r.events[:0]
+	for _, e := range r.events {
+		if e.At == at {
+			batch = append(batch, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	r.events = rest
+	sort.Slice(batch, func(i, j int) bool { return Less(batch[i], batch[j]) })
+	return batch
+}
+
+// driveAgainstReference pushes a random schedule into both queues and pops
+// everything, asserting identical batch sequences. Far-future inserts
+// exercise the overflow heap; duplicate (At, Kind, A, B) tuples and dense
+// same-tick groups exercise batch ordering; random Remove calls on
+// still-queued events and alternation between the NextAt+PopBatch and
+// PopNext APIs exercise the engine's exact-wake protocol.
+func driveAgainstReference(t *testing.T, seed int64, ops int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	w := NewWheel(0)
+	ref := &refQueue{}
+	now := int64(0)
+	// live tracks unclamped pushes not yet popped or removed — the events
+	// Remove is specified for (never scheduled into the past, still pending).
+	var live []Event
+	dropLive := func(e Event) {
+		for i := range live {
+			if live[i] == e {
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				return
+			}
+		}
+	}
+
+	randEvent := func() Event {
+		at := now
+		switch rng.Intn(10) {
+		case 0: // same tick
+		case 1: // past (gets clamped)
+			at = now - rng.Int63n(200)
+		case 2, 3: // far future: overflow territory
+			at = now + span + rng.Int63n(4*span)
+		default: // near future, dense
+			at = now + rng.Int63n(2000)
+		}
+		return Event{
+			At:   at,
+			Kind: uint8(rng.Intn(2)),
+			A:    int32(rng.Intn(8)),
+			B:    uint64(rng.Intn(64)),
+		}
+	}
+
+	var buf []Event
+	for i := 0; i < ops; i++ {
+		for n := rng.Intn(4); n >= 0; n-- {
+			e := randEvent()
+			w.Push(e)
+			ref.push(e, now)
+			if e.At >= now {
+				live = append(live, e)
+			}
+		}
+		if len(live) > 0 && rng.Intn(4) == 0 {
+			e := live[rng.Intn(len(live))]
+			dropLive(e)
+			if !w.Remove(e) {
+				t.Fatalf("op %d: Remove(%+v) did not find the event", i, e)
+			}
+			for j := range ref.events {
+				if ref.events[j] == e {
+					ref.events = append(ref.events[:j], ref.events[j+1:]...)
+					break
+				}
+			}
+		}
+		if w.Len() != len(ref.events) {
+			t.Fatalf("op %d: Len = %d, ref %d", i, w.Len(), len(ref.events))
+		}
+		wAt, wOK := w.NextAt()
+		rAt, rOK := ref.nextAt()
+		if wOK != rOK || (wOK && wAt != rAt) {
+			t.Fatalf("op %d: NextAt = (%d,%v), ref (%d,%v)", i, wAt, wOK, rAt, rOK)
+		}
+		if !wOK {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			buf = w.PopBatch(wAt, buf[:0])
+		} else {
+			var at int64
+			var ok bool
+			buf, at, ok = w.PopNext(buf[:0])
+			if !ok || at != wAt {
+				t.Fatalf("op %d: PopNext = (%d,%v), NextAt said %d", i, at, ok, wAt)
+			}
+		}
+		for _, e := range buf {
+			dropLive(e)
+		}
+		want := ref.popBatch(rAt)
+		if len(buf) != len(want) {
+			t.Fatalf("op %d tick %d: batch len %d, ref %d", i, wAt, len(buf), len(want))
+		}
+		for j := range buf {
+			got := buf[j]
+			got.At = wAt // clamped events keep their original At in the wheel
+			if got != want[j] {
+				t.Fatalf("op %d tick %d batch[%d]: %+v, ref %+v", i, wAt, j, got, want[j])
+			}
+		}
+		now = wAt
+	}
+	// Drain both to empty.
+	for {
+		wAt, wOK := w.NextAt()
+		rAt, rOK := ref.nextAt()
+		if wOK != rOK {
+			t.Fatalf("drain: NextAt ok %v, ref %v", wOK, rOK)
+		}
+		if !wOK {
+			break
+		}
+		if wAt != rAt {
+			t.Fatalf("drain: NextAt %d, ref %d", wAt, rAt)
+		}
+		got := w.PopBatch(wAt, nil)
+		want := ref.popBatch(rAt)
+		if len(got) != len(want) {
+			t.Fatalf("drain tick %d: batch len %d, ref %d", wAt, len(got), len(want))
+		}
+	}
+	if w.Len() != 0 {
+		t.Fatalf("wheel not empty after drain: %d", w.Len())
+	}
+}
+
+func TestWheelMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		driveAgainstReference(t, seed, 300)
+	}
+}
+
+func TestWheelOverflowRebase(t *testing.T) {
+	w := NewWheel(0)
+	// Everything beyond the window: forces rebase + drain.
+	for i := 0; i < 100; i++ {
+		w.Push(Event{At: 10 * span * int64(i+1), A: int32(i)})
+	}
+	prev := int64(-1)
+	for i := 0; i < 100; i++ {
+		at, ok := w.NextAt()
+		if !ok {
+			t.Fatalf("pop %d: empty", i)
+		}
+		if at <= prev {
+			t.Fatalf("pop %d: non-monotone %d after %d", i, at, prev)
+		}
+		b := w.PopBatch(at, nil)
+		if len(b) != 1 || b[0].A != int32(i) {
+			t.Fatalf("pop %d: batch %+v", i, b)
+		}
+		prev = at
+	}
+	if _, ok := w.NextAt(); ok {
+		t.Fatal("wheel should be empty")
+	}
+}
+
+func TestWheelSameTickOrder(t *testing.T) {
+	w := NewWheel(0)
+	// Reverse-ordered same-tick events must pop sorted by (Kind, A, B).
+	evs := []Event{
+		{At: 100, Kind: 1, A: 2, B: 0},
+		{At: 100, Kind: 1, A: 0, B: 9},
+		{At: 100, Kind: 0, A: 5, B: 7},
+		{At: 100, Kind: 0, A: 5, B: 3},
+		{At: 100, Kind: 0, A: 1, B: 8},
+	}
+	for _, e := range evs {
+		w.Push(e)
+	}
+	b := w.PopBatch(100, nil)
+	if len(b) != len(evs) {
+		t.Fatalf("batch len %d", len(b))
+	}
+	for i := 1; i < len(b); i++ {
+		if !Less(b[i-1], b[i]) {
+			t.Fatalf("batch out of order at %d: %+v before %+v", i, b[i-1], b[i])
+		}
+	}
+}
+
+// FuzzWheel lets go's fuzzer mutate the seed for the reference comparison.
+func FuzzWheel(f *testing.F) {
+	for _, s := range []int64{1, 42, 0xdead} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		driveAgainstReference(t, seed, 120)
+	})
+}

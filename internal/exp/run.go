@@ -92,6 +92,9 @@ type RunConfig struct {
 	// legacySched selects the flat-queue reference scheduler in the memory
 	// controllers (equivalence tests only).
 	legacySched bool
+	// legacyEngine selects the legacy scan-everything event loop in system
+	// (equivalence tests only).
+	legacyEngine bool
 }
 
 // --- process-wide run cache -------------------------------------------------
@@ -117,6 +120,16 @@ func ResetCache() { runCache.Reset() }
 
 // CacheStats snapshots the run cache's hit/miss counters.
 func CacheStats() runcache.Stats { return runCache.Stats() }
+
+// simEvents counts event-loop events across every simulation actually
+// executed by this process (cache hits replay a result, so they add
+// nothing). The experiments CLI divides deltas of this counter by
+// wall-clock for its -perfstats events/sec report.
+var simEvents atomic.Uint64
+
+// SimEvents reports the cumulative number of simulator events processed by
+// this process so far.
+func SimEvents() uint64 { return simEvents.Load() }
 
 // traceKey builds the cache identity of cfg's trace set, and whether the
 // config is cacheable at all (explicit Traces are not).
@@ -145,7 +158,7 @@ func (cfg RunConfig) traceKey() (runcache.TraceKey, bool) {
 // baseline per workload.
 func (cfg RunConfig) runKey() (runcache.RunKey, bool) {
 	tk, ok := cfg.traceKey()
-	if !ok || cfg.Scheme.Build != nil || cfg.legacySched {
+	if !ok || cfg.Scheme.Build != nil || cfg.legacySched || cfg.legacyEngine {
 		return runcache.RunKey{}, false
 	}
 	mop := cfg.MOPCap
@@ -336,6 +349,9 @@ func runUncached(cfg RunConfig, attempt int) (res stats.RunResult, err error) {
 	if cfg.legacySched {
 		sysCfg.CtrlCfg.Scheduler = memctrl.SchedFlat
 	}
+	if cfg.legacyEngine {
+		sysCfg.Engine = system.EngineLegacy
+	}
 	sysCfg.MaxTime = cfg.MaxTime
 
 	resetPeriod := uint64(float64(8192) * cfg.WindowScale)
@@ -397,7 +413,10 @@ func runUncached(cfg RunConfig, attempt int) (res stats.RunResult, err error) {
 	if err != nil {
 		return stats.RunResult{}, err
 	}
-	if err := sys.Run(); err != nil {
+	err = sys.Run()
+	_, ev := sys.LoopStats()
+	simEvents.Add(ev)
+	if err != nil {
 		return stats.RunResult{}, harness.Wrap(id, err)
 	}
 	return collect(cfg, sys), nil

@@ -119,9 +119,9 @@ func New(cfg Config, dev *dram.SubChannel, mit Mitigator,
 		cfg:           cfg,
 		dev:           dev,
 		mit:           mit,
-		allBanks:      make([]int, len(dev.Banks)),
-		hits:          make([]int, len(dev.Banks)),
-		sampleOnClose: make([]bool, len(dev.Banks)),
+		allBanks:      make([]int, dev.NumBanks()),
+		hits:          make([]int, dev.NumBanks()),
+		sampleOnClose: make([]bool, dev.NumBanks()),
 		onDone:        onDone,
 		nextRefresh:   dev.Timings.TREFI,
 	}
@@ -131,7 +131,7 @@ func New(cfg Config, dev *dram.SubChannel, mit Mitigator,
 	if cfg.Scheduler == SchedFlat {
 		c.sched = newFlatSched(c)
 	} else {
-		c.sched = newBankedSched(c, len(dev.Banks))
+		c.sched = newBankedSched(c, dev.NumBanks())
 	}
 	if cfg.EnableAudit {
 		c.Auditor = NewAuditor(1<<31, cfg.RefsPerWindow)
@@ -183,11 +183,11 @@ func (c *Controller) Process(now Tick) (Tick, error) {
 // startTime computes the earliest time request r could begin service, and
 // whether it is a row-buffer hit.
 func (c *Controller) startTime(r Request) (Tick, bool) {
-	bank := c.dev.Bank(r.Bank)
+	open := c.dev.OpenRow(r.Bank)
 	switch {
-	case bank.OpenRow == int64(r.Row):
+	case open == int64(r.Row):
 		return sim.MaxTick(r.Arrival, c.dev.EarliestColumn(r.Bank)), true
-	case bank.OpenRow != dram.NoRow:
+	case open != dram.NoRow:
 		return sim.MaxTick(r.Arrival, c.dev.EarliestPrecharge(r.Bank)), false
 	default:
 		return sim.MaxTick(r.Arrival, c.dev.EarliestActivate(r.Bank)), false
@@ -224,11 +224,11 @@ func (c *Controller) NextWake(now Tick) Tick {
 // closeBank precharges bank b no earlier than after, honouring a pending
 // Pre+Sample. It returns the precharge issue time.
 func (c *Controller) closeBank(b int, after Tick) (Tick, error) {
-	bank := c.dev.Bank(b)
-	if bank.OpenRow == dram.NoRow {
+	open := c.dev.OpenRow(b)
+	if open == dram.NoRow {
 		return after, nil
 	}
-	row := uint32(bank.OpenRow)
+	row := uint32(open)
 	t := sim.MaxTick(after, c.dev.EarliestPrecharge(b))
 	sample := c.sampleOnClose[b]
 	if err := c.dev.Precharge(t, b, sample); err != nil {
@@ -247,18 +247,19 @@ func (c *Controller) closeBank(b int, after Tick) (Tick, error) {
 // start (already validated against bank state).
 func (c *Controller) service(r Request, start Tick) error {
 	b := r.Bank
-	bank := c.dev.Bank(b)
+	open := c.dev.OpenRow(b)
 	t := start
 	var dec Decision
 	activated := false
 
-	if bank.OpenRow != dram.NoRow && bank.OpenRow != int64(r.Row) {
+	if open != dram.NoRow && open != int64(r.Row) {
 		var err error
 		if t, err = c.closeBank(b, t); err != nil {
 			return err
 		}
+		open = c.dev.OpenRow(b)
 	}
-	if bank.OpenRow == dram.NoRow {
+	if open == dram.NoRow {
 		dec = c.mit.OnActivate(t, b, r.Row)
 		if len(dec.PreOps) > 0 {
 			var err error
@@ -325,8 +326,9 @@ func (c *Controller) service(r Request, start Tick) error {
 // all-bank REF, then runs any mitigator refresh ops.
 func (c *Controller) doRefresh() error {
 	t := c.nextRefresh
-	for b := range c.dev.Banks {
-		if c.dev.Bank(b).OpenRow != dram.NoRow {
+	n := c.dev.NumBanks()
+	for b := 0; b < n; b++ {
+		if c.dev.OpenRow(b) != dram.NoRow {
 			pt, err := c.closeBank(b, t)
 			if err != nil {
 				return err
@@ -335,7 +337,7 @@ func (c *Controller) doRefresh() error {
 		}
 	}
 	start := t
-	for b := range c.dev.Banks {
+	for b := 0; b < n; b++ {
 		if e := c.dev.EarliestActivate(b); e > start {
 			start = e
 		}
@@ -425,7 +427,7 @@ func (c *Controller) execOp(op Op, after Tick) (Tick, error) {
 		}
 		c.sched.dirtyAll()
 		c.reportMits(t+ti.TDRFMab, mits)
-		c.MitStallBank += ti.TDRFMab * Tick(len(c.dev.Banks))
+		c.MitStallBank += ti.TDRFMab * Tick(c.dev.NumBanks())
 		return t + ti.TDRFMab, nil
 
 	case OpExplicitSample:
@@ -469,14 +471,14 @@ func (c *Controller) execOp(op Op, after Tick) (Tick, error) {
 			t += ti.TDRFMab
 			c.sched.dirtyAll()
 			c.reportMits(t, mits)
-			c.MitStallBank += (c.cfg.GangSampleDur + ti.TDRFMab) * Tick(len(c.dev.Banks))
+			c.MitStallBank += (c.cfg.GangSampleDur + ti.TDRFMab) * Tick(c.dev.NumBanks())
 		}
 		return t, nil
 
 	case OpStallAll:
 		c.dev.StallAll(after, op.Dur)
 		c.sched.dirtyAll()
-		c.MitStallBank += op.Dur * Tick(len(c.dev.Banks))
+		c.MitStallBank += op.Dur * Tick(c.dev.NumBanks())
 		return after + op.Dur, nil
 
 	default:
@@ -494,7 +496,7 @@ func (c *Controller) prepBanks(set []int, after Tick) (Tick, error) {
 	}
 	t := after
 	for _, b := range idx {
-		if c.dev.Bank(b).OpenRow != dram.NoRow {
+		if c.dev.OpenRow(b) != dram.NoRow {
 			if _, err := c.closeBank(b, after); err != nil {
 				return 0, err
 			}

@@ -126,6 +126,9 @@ func (s *flatSched) dirtyAll()     {}
 // every column access anywhere in the sub-channel, so it is applied as
 // max(hitLocal, busReady) at query time, which keeps the aggregate valid
 // until a bank-local event (command to this bank, queue change) dirties it.
+// Because max-with-a-constant distributes over min, the bank-level bound
+// min(miss, max(hitLocal, busReady)) equals the exact minimum service-start
+// over the bank's requests, so aggregate comparisons never mis-skip a bank.
 type bankQ struct {
 	reqs     []Request
 	dirty    bool
@@ -134,9 +137,26 @@ type bankQ struct {
 }
 
 // bankedQueue is one direction (reads or writes) of the banked scheduler.
+// It keeps a ready set — the list of banks with non-empty FIFOs — so pick
+// and minStart walk only banks that actually hold work instead of all 32,
+// plus a direction-level aggregate (the min of the per-bank aggregates) so
+// repeated NextWake/pick probes with no intervening queue or bank change
+// are O(1).
 type bankedQueue struct {
 	banks []bankQ
-	size  int
+	// active lists banks with len(reqs) > 0; pos[b] is b's index in active
+	// or -1. Maintained by swap-remove, so order is arbitrary — safe because
+	// pick's (hit, start, seq) comparison is a strict total order and the
+	// aggregates are order-independent min-folds.
+	active []int
+	pos    []int
+	size   int
+	// aggOK caches the direction-level minima over active banks: aggHit is
+	// min hitLocal (bank-local, bus applied at query time), aggMiss is min
+	// miss. Invalidated whenever any bank's queue or timing state changes.
+	aggOK   bool
+	aggHit  Tick
+	aggMiss Tick
 }
 
 type bankedSched struct {
@@ -147,13 +167,16 @@ type bankedSched struct {
 
 func newBankedSched(c *Controller, banks int) *bankedSched {
 	s := &bankedSched{c: c}
-	s.reads.banks = make([]bankQ, banks)
-	s.writes.banks = make([]bankQ, banks)
-	for b := range s.reads.banks {
-		// Pre-size each FIFO: queues churn constantly but stay shallow, so a
-		// small initial capacity absorbs nearly all append growth.
-		s.reads.banks[b] = bankQ{reqs: make([]Request, 0, 16), hitLocal: sim.Forever, miss: sim.Forever}
-		s.writes.banks[b] = bankQ{reqs: make([]Request, 0, 16), hitLocal: sim.Forever, miss: sim.Forever}
+	for _, q := range []*bankedQueue{&s.reads, &s.writes} {
+		q.banks = make([]bankQ, banks)
+		q.active = make([]int, 0, banks)
+		q.pos = make([]int, banks)
+		for b := range q.banks {
+			// Pre-size each FIFO: queues churn constantly but stay shallow, so
+			// a small initial capacity absorbs nearly all append growth.
+			q.banks[b] = bankQ{reqs: make([]Request, 0, 16), hitLocal: sim.Forever, miss: sim.Forever}
+			q.pos[b] = -1
+		}
 	}
 	return s
 }
@@ -164,24 +187,42 @@ func (s *bankedSched) enqueue(r Request) {
 		q = &s.writes
 	}
 	bq := &q.banks[r.Bank]
+	if len(bq.reqs) == 0 {
+		q.pos[r.Bank] = len(q.active)
+		q.active = append(q.active, r.Bank)
+	}
 	bq.reqs = append(bq.reqs, r)
 	q.size++
 	if bq.dirty {
+		// Stale bank aggregate: the next refold must recompute it.
+		q.aggOK = false
 		return
 	}
-	// Fold the newcomer into the clean aggregate in O(1).
-	bank := s.c.dev.Bank(r.Bank)
-	if bank.OpenRow != dram.NoRow && bank.OpenRow == int64(r.Row) {
-		if v := sim.MaxTick(r.Arrival, bank.EarliestColumn()); v < bq.hitLocal {
+	// Fold the newcomer into the clean bank aggregate in O(1) — and into the
+	// direction-level aggregate too: enqueue only adds work, so the direction
+	// min folds the same value instead of invalidating (which would put an
+	// O(active banks) refold on every enqueue→NextWake probe).
+	dev := s.c.dev
+	open := dev.OpenRow(r.Bank)
+	if open != dram.NoRow && open == int64(r.Row) {
+		v := sim.MaxTick(r.Arrival, dev.EarliestColumnLocal(r.Bank))
+		if v < bq.hitLocal {
 			bq.hitLocal = v
 		}
-	} else {
-		ready := bank.EarliestActivate()
-		if bank.OpenRow != dram.NoRow {
-			ready = bank.EarliestPrecharge()
+		if q.aggOK && v < q.aggHit {
+			q.aggHit = v
 		}
-		if v := sim.MaxTick(r.Arrival, ready); v < bq.miss {
+	} else {
+		ready := dev.EarliestActivate(r.Bank)
+		if open != dram.NoRow {
+			ready = dev.EarliestPrecharge(r.Bank)
+		}
+		v := sim.MaxTick(r.Arrival, ready)
+		if v < bq.miss {
 			bq.miss = v
+		}
+		if q.aggOK && v < q.aggMiss {
+			q.aggMiss = v
 		}
 	}
 }
@@ -196,12 +237,12 @@ func (s *bankedSched) recompute(q *bankedQueue, b int) {
 	if len(bq.reqs) == 0 {
 		return
 	}
-	bank := s.c.dev.Bank(b)
-	open := bank.OpenRow
-	colLocal := bank.EarliestColumn()
-	ready := bank.EarliestActivate()
+	dev := s.c.dev
+	open := dev.OpenRow(b)
+	colLocal := dev.EarliestColumnLocal(b)
+	ready := dev.EarliestActivate(b)
 	if open != dram.NoRow {
-		ready = bank.EarliestPrecharge()
+		ready = dev.EarliestPrecharge(b)
 	}
 	for i := range bq.reqs {
 		r := &bq.reqs[i]
@@ -213,6 +254,29 @@ func (s *bankedSched) recompute(q *bankedQueue, b int) {
 			bq.miss = v
 		}
 	}
+}
+
+// refreshAgg brings the direction-level aggregate up to date, recomputing
+// any dirty active banks along the way. O(1) when nothing changed since the
+// last call; O(ready banks) otherwise.
+func (s *bankedSched) refreshAgg(q *bankedQueue) {
+	if q.aggOK {
+		return
+	}
+	q.aggHit, q.aggMiss = sim.Forever, sim.Forever
+	for _, b := range q.active {
+		bq := &q.banks[b]
+		if bq.dirty {
+			s.recompute(q, b)
+		}
+		if bq.hitLocal < q.aggHit {
+			q.aggHit = bq.hitLocal
+		}
+		if bq.miss < q.aggMiss {
+			q.aggMiss = bq.miss
+		}
+	}
+	q.aggOK = true
 }
 
 // busReady reports the earliest command time at which a column burst would
@@ -230,20 +294,33 @@ func (s *bankedSched) pick(now Tick, fromWrite bool) (Request, Tick, bool) {
 		return Request{}, 0, false
 	}
 	g := s.busReady()
+	// The candidate scan below walks every active bank anyway, so instead of
+	// a separate refreshAgg traversal the stale direction aggregate is
+	// refolded inline as the scan goes.
+	refold := !q.aggOK
+	if refold {
+		q.aggHit, q.aggMiss = sim.Forever, sim.Forever
+	}
+	dev := s.c.dev
 	bestBank, bestIdx := -1, -1
 	bestStart := sim.Forever
 	bestHit := false
 	var bestSeq uint64
-	for b := range q.banks {
+	for _, b := range q.active {
 		bq := &q.banks[b]
-		if len(bq.reqs) == 0 {
-			continue
+		if refold {
+			if bq.dirty {
+				s.recompute(q, b)
+			}
+			if bq.hitLocal < q.aggHit {
+				q.aggHit = bq.hitLocal
+			}
+			if bq.miss < q.aggMiss {
+				q.aggMiss = bq.miss
+			}
 		}
-		if bq.dirty {
-			s.recompute(q, b)
-		}
-		// Skip banks that cannot start anything at now; their aggregate
-		// alone bounds them out.
+		// Every active bank is clean here. Skip banks that cannot start
+		// anything at now; their aggregate alone bounds them out.
 		bankMin := bq.miss
 		if bq.hitLocal != sim.Forever {
 			if hs := sim.MaxTick(bq.hitLocal, g); hs < bankMin {
@@ -253,12 +330,11 @@ func (s *bankedSched) pick(now Tick, fromWrite bool) (Request, Tick, bool) {
 		if bankMin > now {
 			continue
 		}
-		bank := s.c.dev.Bank(b)
-		open := bank.OpenRow
-		colC := sim.MaxTick(bank.EarliestColumn(), g)
-		ready := bank.EarliestActivate()
+		open := dev.OpenRow(b)
+		colC := sim.MaxTick(dev.EarliestColumnLocal(b), g)
+		ready := dev.EarliestActivate(b)
 		if open != dram.NoRow {
-			ready = bank.EarliestPrecharge()
+			ready = dev.EarliestPrecharge(b)
 		}
 		for i := range bq.reqs {
 			r := &bq.reqs[i]
@@ -289,15 +365,36 @@ func (s *bankedSched) pick(now Tick, fromWrite bool) (Request, Tick, bool) {
 			}
 		}
 	}
+	if refold {
+		q.aggOK = true
+	}
 	if bestIdx < 0 {
 		return Request{}, 0, false
 	}
 	bq := &q.banks[bestBank]
 	r := bq.reqs[bestIdx]
-	bq.reqs = append(bq.reqs[:bestIdx], bq.reqs[bestIdx+1:]...)
+	// Swap-remove: in-bank order is irrelevant (seq breaks all ties).
+	last := len(bq.reqs) - 1
+	bq.reqs[bestIdx] = bq.reqs[last]
+	bq.reqs = bq.reqs[:last]
 	bq.dirty = true // the removed request may have defined the aggregate
+	if last == 0 {
+		q.deactivate(bestBank)
+	}
 	q.size--
+	q.aggOK = false
 	return r, bestStart, true
+}
+
+// deactivate drops bank b from the ready set (its FIFO just emptied).
+func (q *bankedQueue) deactivate(b int) {
+	i := q.pos[b]
+	lastIdx := len(q.active) - 1
+	moved := q.active[lastIdx]
+	q.active[i] = moved
+	q.pos[moved] = i
+	q.active = q.active[:lastIdx]
+	q.pos[b] = -1
 }
 
 func (s *bankedSched) minStart(includeWrites bool) Tick {
@@ -307,21 +404,13 @@ func (s *bankedSched) minStart(includeWrites bool) Tick {
 		if q.size == 0 {
 			return
 		}
-		for b := range q.banks {
-			bq := &q.banks[b]
-			if len(bq.reqs) == 0 {
-				continue
-			}
-			if bq.dirty {
-				s.recompute(q, b)
-			}
-			if bq.miss < w {
-				w = bq.miss
-			}
-			if bq.hitLocal != sim.Forever {
-				if hs := sim.MaxTick(bq.hitLocal, g); hs < w {
-					w = hs
-				}
+		s.refreshAgg(q)
+		if q.aggMiss < w {
+			w = q.aggMiss
+		}
+		if q.aggHit != sim.Forever {
+			if hs := sim.MaxTick(q.aggHit, g); hs < w {
+				w = hs
 			}
 		}
 	}
@@ -335,6 +424,8 @@ func (s *bankedSched) minStart(includeWrites bool) Tick {
 func (s *bankedSched) dirtyBank(b int) {
 	s.reads.banks[b].dirty = true
 	s.writes.banks[b].dirty = true
+	s.reads.aggOK = false
+	s.writes.aggOK = false
 }
 
 func (s *bankedSched) dirtyAll() {
@@ -342,4 +433,6 @@ func (s *bankedSched) dirtyAll() {
 		s.reads.banks[b].dirty = true
 		s.writes.banks[b].dirty = true
 	}
+	s.reads.aggOK = false
+	s.writes.aggOK = false
 }

@@ -9,10 +9,17 @@
 // activation, and a bulk reset once per refresh window. Go's built-in map
 // pays for genericity on that path (hashing through the runtime, bucket
 // chains, per-window reallocation or keyed deletes). This table instead
-// uses linear probing over three parallel slices with power-of-two sizing,
-// Fibonacci hashing, backward-shift deletion, and an epoch-based O(1)
-// Reset, so steady-state operation allocates nothing and a window reset is
-// a single counter bump.
+// uses linear probing with power-of-two sizing, Fibonacci hashing,
+// backward-shift deletion, and an epoch-based O(1) Reset, so steady-state
+// operation allocates nothing and a window reset is a single counter bump.
+//
+// Layout: each slot is one uint64 word packing a 16-bit epoch tag above a
+// 48-bit key, so the probe loop — the measured cache-miss hot spot of
+// mitigated runs — issues exactly one load per step into an 8-byte-per-slot
+// array, and liveness + key match resolve from that single word. Counter
+// values live in a parallel slice that is only touched on a hit. (Keys are
+// (bank,row) packs and tracker row indexes, far below 2^48; insertAt
+// enforces the bound.)
 //
 // Determinism: iteration (Range, DeleteIf) visits slots in table order,
 // which is a pure function of the insertion history — two runs that
@@ -32,9 +39,13 @@ const (
 	maxLoadNum = 3
 	maxLoadDen = 4
 	minSlots   = 16
+
+	keyBits  = 48
+	keyMask  = 1<<keyBits - 1
+	epochMax = 1 << (64 - keyBits) // epoch tags cycle in [1, epochMax)
 )
 
-// Key packs (bank, row) into the table's 64-bit key space.
+// Key packs (bank, row) into the table's 48-bit key space.
 func Key(bank int, row uint32) uint64 { return uint64(bank)<<32 | uint64(row) }
 
 // Bank recovers the bank index from a packed key.
@@ -46,13 +57,14 @@ func Row(k uint64) uint32 { return uint32(k) }
 // Table is an open-addressed (key → counter) table. The zero value is not
 // ready for use; call New.
 type Table struct {
-	keys   []uint64
-	vals   []uint64
-	epochs []uint32 // slot i is live iff epochs[i] == epoch
+	// words[i] = epoch<<keyBits | key; slot i is live iff its tag equals
+	// the table epoch. Zero (tag 0, never a live epoch) means never used.
+	words []uint64
+	vals  []uint64
 
-	epoch  uint32
+	epoch  uint64 // current live tag, in [1, epochMax)
 	mask   uint64
-	shift  uint8 // 64 - log2(len(keys)), for Fibonacci hashing
+	shift  uint8 // 64 - log2(len(words)), for Fibonacci hashing
 	live   int
 	growAt int
 
@@ -72,9 +84,8 @@ func New(hint int) *Table {
 }
 
 func (t *Table) alloc(slots int) {
-	t.keys = make([]uint64, slots)
+	t.words = make([]uint64, slots)
 	t.vals = make([]uint64, slots)
-	t.epochs = make([]uint32, slots)
 	t.mask = uint64(slots - 1)
 	shift := uint8(64)
 	for s := slots; s > 1; s >>= 1 {
@@ -95,12 +106,14 @@ func (t *Table) home(k uint64) uint64 {
 // probe always terminates.
 func (t *Table) find(k uint64) (uint64, bool) {
 	i := t.home(k)
+	tagged := t.epoch<<keyBits | k
 	for {
-		if t.epochs[i] != t.epoch {
-			return i, false
-		}
-		if t.keys[i] == k {
+		w := t.words[i]
+		if w == tagged {
 			return i, true
+		}
+		if w>>keyBits != t.epoch {
+			return i, false
 		}
 		i = (i + 1) & t.mask
 	}
@@ -151,12 +164,14 @@ func (t *Table) Set(k, v uint64) {
 // insertAt claims empty slot i for k, growing (and re-probing) if the load
 // threshold is reached. It returns the slot actually used.
 func (t *Table) insertAt(i uint64, k uint64) uint64 {
+	if k > keyMask {
+		panic("rowtable: key exceeds 48-bit key space")
+	}
 	if t.live >= t.growAt {
 		t.grow()
 		i, _ = t.find(k)
 	}
-	t.keys[i] = k
-	t.epochs[i] = t.epoch
+	t.words[i] = t.epoch<<keyBits | k
 	t.live++
 	return i
 }
@@ -165,18 +180,18 @@ func (t *Table) insertAt(i uint64, k uint64) uint64 {
 // (pre-Reset) slots are dropped, so repeated Reset cycles never inflate the
 // backing arrays.
 func (t *Table) grow() {
-	oldKeys, oldVals, oldEpochs, oldEpoch := t.keys, t.vals, t.epochs, t.epoch
-	t.alloc(len(oldKeys) * 2)
+	oldWords, oldVals, oldEpoch := t.words, t.vals, t.epoch
+	t.alloc(len(oldWords) * 2)
 	t.epoch = 1
 	t.live = 0
-	for i, e := range oldEpochs {
-		if e != oldEpoch {
+	for i, w := range oldWords {
+		if w>>keyBits != oldEpoch {
 			continue
 		}
-		j, _ := t.find(oldKeys[i])
-		t.keys[j] = oldKeys[i]
+		k := w & keyMask
+		j, _ := t.find(k)
+		t.words[j] = t.epoch<<keyBits | k
 		t.vals[j] = oldVals[i]
-		t.epochs[j] = t.epoch
 		t.live++
 	}
 }
@@ -194,30 +209,31 @@ func (t *Table) Delete(k uint64) bool {
 	j := i
 	for {
 		j = (j + 1) & t.mask
-		if t.epochs[j] != t.epoch {
+		w := t.words[j]
+		if w>>keyBits != t.epoch {
 			break
 		}
-		h := t.home(t.keys[j])
+		h := t.home(w & keyMask)
 		if ((j - h) & t.mask) >= ((j - i) & t.mask) {
-			t.keys[i] = t.keys[j]
+			t.words[i] = w
 			t.vals[i] = t.vals[j]
 			i = j
 		}
 	}
-	t.epochs[i] = 0
+	t.words[i] = 0
 	t.live--
 	return true
 }
 
 // Reset empties the table in O(1) by advancing the epoch; backing arrays
 // and capacity are retained, so the next window rebuilds without
-// allocating. (On the rare epoch wrap the stale marks are cleared
+// allocating. (On the rare 16-bit tag wrap the stale words are cleared
 // eagerly.)
 func (t *Table) Reset() {
 	t.epoch++
-	if t.epoch == 0 {
-		for i := range t.epochs {
-			t.epochs[i] = 0
+	if t.epoch == epochMax {
+		for i := range t.words {
+			t.words[i] = 0
 		}
 		t.epoch = 1
 	}
@@ -227,11 +243,11 @@ func (t *Table) Reset() {
 // Range calls f for every live entry in deterministic table order until f
 // returns false.
 func (t *Table) Range(f func(k, v uint64) bool) {
-	for i, e := range t.epochs {
-		if e != t.epoch {
+	for i, w := range t.words {
+		if w>>keyBits != t.epoch {
 			continue
 		}
-		if !f(t.keys[i], t.vals[i]) {
+		if !f(w&keyMask, t.vals[i]) {
 			return
 		}
 	}
@@ -243,9 +259,9 @@ func (t *Table) Range(f func(k, v uint64) bool) {
 // deletion moves entries between slots.
 func (t *Table) DeleteIf(pred func(k, v uint64) bool) {
 	t.scratch = t.scratch[:0]
-	for i, e := range t.epochs {
-		if e == t.epoch && pred(t.keys[i], t.vals[i]) {
-			t.scratch = append(t.scratch, t.keys[i])
+	for i, w := range t.words {
+		if w>>keyBits == t.epoch && pred(w&keyMask, t.vals[i]) {
+			t.scratch = append(t.scratch, w&keyMask)
 		}
 	}
 	for _, k := range t.scratch {

@@ -74,7 +74,7 @@ func TestEpochReset(t *testing.T) {
 	for i := uint32(0); i < 8; i++ {
 		tb.Incr(Key(0, i), 5)
 	}
-	slots := len(tb.keys)
+	slots := len(tb.words)
 	tb.Reset()
 	if tb.Len() != 0 {
 		t.Fatalf("Len after Reset = %d", tb.Len())
@@ -94,15 +94,15 @@ func TestEpochReset(t *testing.T) {
 		}
 		tb.Reset()
 	}
-	if len(tb.keys) != slots {
-		t.Fatalf("backing array grew across resets: %d -> %d slots", slots, len(tb.keys))
+	if len(tb.words) != slots {
+		t.Fatalf("backing array grew across resets: %d -> %d slots", slots, len(tb.words))
 	}
 }
 
 func TestEpochWrap(t *testing.T) {
 	tb := New(0)
 	tb.Incr(Key(0, 1), 3)
-	tb.epoch = ^uint32(0) - 1 // force an imminent wrap; entry becomes stale
+	tb.epoch = epochMax - 2 // force an imminent wrap; entry becomes stale
 	tb.Reset()
 	tb.Incr(Key(0, 2), 4)
 	tb.Reset() // epoch wraps to 0 -> eager clear, epoch back to 1

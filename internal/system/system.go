@@ -12,12 +12,29 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/evq"
 	"repro/internal/memctrl"
 	"repro/internal/sim"
 )
 
 // Tick aliases sim.Tick.
 type Tick = sim.Tick
+
+// EngineKind selects the event-loop implementation.
+type EngineKind int
+
+const (
+	// EngineWheel is the default: a unified timing-wheel event queue
+	// (completions and controller wakes as typed events) with batched
+	// same-tick delivery, so per-tick bookkeeping runs once per tick
+	// instead of once per event, and finding the next event time is O(1)
+	// bitmap search instead of a scan plus heap peek.
+	EngineWheel EngineKind = iota
+	// EngineLegacy is the original wake-scan + completion-heap loop,
+	// retained as the equivalence reference: both engines must produce
+	// bit-identical simulations.
+	EngineLegacy
+)
 
 // Config describes one simulated machine.
 type Config struct {
@@ -49,6 +66,11 @@ type Config struct {
 	// is how wall-clock watchdogs convert livelocks into run failures
 	// without the simulator itself ever reading the host clock.
 	OnProgress func(now Tick, events uint64) error
+
+	// Engine selects the event-loop implementation (EngineWheel by
+	// default; EngineLegacy keeps the original loop for equivalence
+	// testing). Both produce identical simulations.
+	Engine EngineKind
 }
 
 // DefaultConfig returns the Table-2 machine.
@@ -144,7 +166,34 @@ type System struct {
 	demandRds uint64
 	fillRds   uint64
 	wbWrites  uint64
+
+	// Wheel-engine state (nil / unused under EngineLegacy).
+	wheel *evq.Wheel
+	// wakeEvAt[i] is the time of the single wake event queued for
+	// controller i, or sim.Forever when none is queued. armWake keeps it
+	// exactly equal to wakes[i]: lowering a wake removes the old event from
+	// the wheel and pushes the new one, so wake events never fire stale and
+	// the loop visits no wasted ticks.
+	wakeEvAt []Tick
+	batch    []evq.Event
+	// dueNow lists controllers whose wake was lowered to the current tick
+	// while that tick's batch is being delivered (a completion enqueued a
+	// same-tick arrival). runWheel drains it within the same iteration, so
+	// same-tick wakes never round-trip through the wheel.
+	dueNow []int32
+
+	// Event-loop statistics (LoopStats).
+	iters  uint64
+	events uint64
 }
+
+// Event kinds in the wheel engine. Completions sort before wakes within a
+// tick, matching the legacy loop's deliver-completions-then-run-controllers
+// order; A carries the core (completions) or sub-channel (wakes) index.
+const (
+	evComplete uint8 = iota
+	evWake
+)
 
 // New assembles a machine running one trace per core.
 func New(cfg Config, traces []cpu.Trace) (*System, error) {
@@ -193,6 +242,13 @@ func New(cfg Config, traces []cpu.Trace) (*System, error) {
 		s.cores = append(s.cores, core)
 	}
 	s.coreDone = make([]bool, len(s.cores))
+	if cfg.Engine == EngineWheel {
+		s.wheel = evq.NewWheel(0)
+		s.wakeEvAt = make([]Tick, len(s.ctrls))
+		for i := range s.wakeEvAt {
+			s.wakeEvAt[i] = sim.Forever
+		}
+	}
 	return s, nil
 }
 
@@ -240,11 +296,28 @@ func (s *System) enqueue(lineAddr uint64, when Tick, isWrite bool, core int, tok
 	})
 	if arrival < s.wakes[loc.Sub] {
 		s.wakes[loc.Sub] = arrival
+		// Wheel engine: the controller pass is event-driven, so a lowered
+		// wake must be armed immediately — there is no per-tick scan to
+		// notice it. A same-tick arrival (arrival == now, possible because
+		// completions deliver before controllers within a tick) skips the
+		// queue: runWheel drains dueNow inside the current iteration,
+		// mirroring the legacy loop's single-pass order.
+		if s.wheel != nil {
+			if arrival <= s.now {
+				s.dueNow = append(s.dueNow, int32(loc.Sub))
+			} else {
+				s.armWake(loc.Sub)
+			}
+		}
 	}
 }
 
 // onDone receives demand-load completions from controllers.
 func (s *System) onDone(core int, token uint64, done Tick) {
+	if s.wheel != nil {
+		s.wheel.Push(evq.Event{At: int64(done), Kind: evComplete, A: int32(core), B: token})
+		return
+	}
 	s.pending.push(completion{at: done, core: core, token: token})
 }
 
@@ -259,11 +332,20 @@ func (s *System) Run() error {
 		c.Step()
 	}
 	s.refreshDone()
-	var events, iters uint64
+	if s.wheel != nil {
+		return s.runWheel()
+	}
+	return s.runLegacy()
+}
+
+// runLegacy is the original event loop: a linear wake scan plus a
+// completion-heap peek per iteration, with a full finished-core rescan after
+// every tick. Retained as the equivalence reference for the wheel engine.
+func (s *System) runLegacy() error {
 	for s.finished < len(s.cores) {
-		iters++
-		if s.cfg.OnProgress != nil && iters%progressStride == 0 {
-			if err := s.cfg.OnProgress(s.now, events); err != nil {
+		s.iters++
+		if s.cfg.OnProgress != nil && s.iters%progressStride == 0 {
+			if err := s.cfg.OnProgress(s.now, s.events); err != nil {
 				return err
 			}
 		}
@@ -287,12 +369,12 @@ func (s *System) Run() error {
 		// before controllers decide what to do at this instant.
 		for len(s.pending) > 0 && s.pending[0].at <= t {
 			c := s.pending.pop()
-			events++
+			s.events++
 			s.cores[c.core].Complete(c.token, c.at)
 		}
 		for i, ctrl := range s.ctrls {
 			if s.wakes[i] <= t {
-				events++
+				s.events++
 				w, err := ctrl.Process(t)
 				if err != nil {
 					return err
@@ -306,6 +388,140 @@ func (s *System) Run() error {
 	}
 	return nil
 }
+
+// runWheel is the timing-wheel event loop. Completions and controller wakes
+// are typed events in one queue; each iteration pops the whole batch for one
+// tick, delivers completions in (core, token) order, then runs exactly the
+// controllers whose wake events fired — there is no per-tick scan over cores
+// or controllers anywhere in the loop. Wakes are armed at their source:
+// enqueue (new request lowers a wake) and the post-Process re-arm.
+//
+// Each controller keeps exactly one wake event queued, always at wakes[i]:
+// lowering a wake (new arrival) removes the superseded event from the wheel
+// and pushes the new time, so firings are never stale and the loop visits
+// only ticks where real work happens.
+func (s *System) runWheel() error {
+	// Arm wakes lowered by the initial core steps. Requests arriving at
+	// tick 0 (wakes[i] == now == 0) still get an event: the wheel's floor
+	// starts at 0, so the push lands in the first slot and fires first.
+	for i := range s.ctrls {
+		s.armWake(i)
+	}
+	for s.finished < len(s.cores) {
+		s.iters++
+		if s.cfg.OnProgress != nil && s.iters%progressStride == 0 {
+			if err := s.cfg.OnProgress(s.now, s.events); err != nil {
+				return err
+			}
+		}
+		batch, t64, ok := s.wheel.PopNext(s.batch[:0])
+		s.batch = batch
+		t := Tick(t64)
+		if !ok {
+			t = sim.Forever
+		}
+		// The abort checks run after the pop (PopNext fuses find + extract
+		// into one slot pass); an aborted run discards the System wholesale,
+		// so popped-but-undelivered events are unobservable.
+		if t >= s.cfg.MaxTime {
+			return fmt.Errorf("system: exceeded MaxTime %v at %v (deadlock?)", s.cfg.MaxTime, s.now)
+		}
+		if t == sim.Forever {
+			return fmt.Errorf("system: no pending events but %d cores unfinished", len(s.cores)-s.finished)
+		}
+		s.now = t
+		// Completions sort first within the batch (evComplete < evWake, then
+		// core, then token — the legacy heap order), and wake events follow
+		// in sub order — the legacy controller-pass order. A completion that
+		// enqueues a same-tick request records the controller in dueNow;
+		// the drain below runs it within this same iteration. Controllers on
+		// different sub-channels share no state, so running one after the
+		// batch instead of interleaved with it leaves the simulation
+		// bit-identical to the legacy single-pass order.
+		for _, e := range s.batch {
+			if e.Kind == evComplete {
+				s.events++
+				core := int(e.A)
+				s.cores[core].Complete(e.B, t)
+				// Targeted finished check: a core can only finish inside its
+				// own Complete (retire + step), so scanning all cores per
+				// tick — the legacy refreshDone — is unnecessary.
+				if !s.coreDone[core] {
+					if done, _ := s.cores[core].Finished(); done {
+						s.coreDone[core] = true
+						s.finished++
+					}
+				}
+				continue
+			}
+			i := int(e.A)
+			// The queued wake event always equals wakes[i] (armWake removes
+			// a superseded event when lowering a wake), so a firing is never
+			// stale: this controller is due exactly now. The guard below is
+			// defensive — it drops an event armWake failed to remove rather
+			// than letting it force an extra Process call.
+			if Tick(e.At) != s.wakeEvAt[i] {
+				continue
+			}
+			s.wakeEvAt[i] = sim.Forever
+			s.events++
+			w, err := s.ctrls[i].Process(t)
+			if err != nil {
+				return err
+			}
+			s.wakes[i] = w
+			s.armWake(i)
+		}
+		// Same-tick wakes recorded during batch delivery. A drained entry is
+		// skipped if its controller already ran this tick via a popped event
+		// (its wake then sits in the future); a Process that returns the
+		// current tick re-appends so the controller runs again before the
+		// loop moves on — the legacy loop gets the same effect from its next
+		// iteration landing on the same tick.
+		for n := 0; n < len(s.dueNow); n++ {
+			i := int(s.dueNow[n])
+			if s.wakes[i] > t {
+				continue
+			}
+			s.events++
+			w, err := s.ctrls[i].Process(t)
+			if err != nil {
+				return err
+			}
+			s.wakes[i] = w
+			if w <= t {
+				s.dueNow = append(s.dueNow, int32(i))
+			} else {
+				s.armWake(i)
+			}
+		}
+		s.dueNow = s.dueNow[:0]
+	}
+	return nil
+}
+
+// armWake keeps controller i's single queued wake event equal to wakes[i]:
+// it removes a superseded event and pushes the new time. Wake events are
+// never scheduled into the past (arrivals are clamped to now; Process
+// returns times at or after now), so the queued event's slot is stable and
+// Remove always finds it.
+func (s *System) armWake(i int) {
+	w, ev := s.wakes[i], s.wakeEvAt[i]
+	if w == ev {
+		return
+	}
+	if ev != sim.Forever {
+		s.wheel.Remove(evq.Event{At: int64(ev), Kind: evWake, A: int32(i)})
+	}
+	if w != sim.Forever {
+		s.wheel.Push(evq.Event{At: int64(w), Kind: evWake, A: int32(i)})
+	}
+	s.wakeEvAt[i] = w
+}
+
+// LoopStats reports event-loop iterations and drained events (completions
+// delivered plus controller Process calls) so far.
+func (s *System) LoopStats() (iters, events uint64) { return s.iters, s.events }
 
 func (s *System) refreshDone() {
 	for i, c := range s.cores {

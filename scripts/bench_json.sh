@@ -15,7 +15,7 @@ set -eu
 count=${1:-3}
 cd "$(dirname "$0")/.."
 
-out=$(go test -run '^$' -bench 'BenchmarkFig10$|BenchmarkFig19$|BenchmarkMitigatedRun' \
+out=$(go test -run '^$' -bench 'BenchmarkFig10$|BenchmarkFig19$|BenchmarkMitigatedRun|BenchmarkSystemRun' \
 	-benchtime=1x -benchmem -count="$count" -timeout 7200s . 2>&1) || {
 	echo "$out" >&2
 	exit 1

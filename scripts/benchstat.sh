@@ -1,0 +1,43 @@
+#!/bin/sh
+# benchstat.sh — compare two `go test -bench` output files without external
+# tooling (stdlib awk only; the container has no golang.org/x/perf).
+#
+# Usage: scripts/benchstat.sh old.txt new.txt
+#
+# For every benchmark present in both files it prints the mean ns/op of each
+# side and the delta. Multiple -count runs of the same benchmark are averaged;
+# benchmarks present on only one side are listed separately. Means are the
+# right summary here because bench_json.sh runs cold (-benchtime=1x), so each
+# sample is one full simulation, not a noisy micro-iteration.
+set -eu
+
+if [ $# -ne 2 ]; then
+	echo "usage: $0 old.txt new.txt" >&2
+	exit 2
+fi
+
+awk '
+FNR == 1 { side++ }
+/^Benchmark/ && $4 == "ns/op" {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sum[side, name] += $3
+	cnt[side, name]++
+	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+	printf "%-44s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+	for (i = 1; i <= n; i++) {
+		b = order[i]
+		if (cnt[1, b] && cnt[2, b]) {
+			o = sum[1, b] / cnt[1, b]
+			nw = sum[2, b] / cnt[2, b]
+			printf "%-44s %14.0f %14.0f %+8.2f%%\n", b, o, nw, (nw - o) / o * 100
+		}
+	}
+	for (i = 1; i <= n; i++) {
+		b = order[i]
+		if (cnt[1, b] && !cnt[2, b]) printf "%-44s %14.0f %14s\n", b, sum[1, b] / cnt[1, b], "(old only)"
+		if (!cnt[1, b] && cnt[2, b]) printf "%-44s %14s %14.0f\n", b, "(new only)", sum[2, b] / cnt[2, b]
+	}
+}' "$1" "$2"

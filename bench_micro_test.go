@@ -15,6 +15,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/exp"
 	"repro/internal/memctrl"
+	"repro/internal/obs"
 	"repro/internal/runcache"
 	"repro/internal/sim"
 	"repro/internal/system"
@@ -194,4 +195,30 @@ func BenchmarkMitigatedRun(b *testing.B) {
 		cfg.Scheme = exp.MOAT()
 		benchMitigated(b, cfg)
 	})
+}
+
+// BenchmarkMitigatedRunMetricsOff/On bound the observability layer's cost on
+// the same Fig19-style point as BenchmarkMitigatedRun: Off is the nil-sink
+// fast path (must stay within noise of the pre-obs hot loop, allocs/op
+// unchanged); On attaches a full recorder with the epoch sampler but no file
+// exporters, pricing the per-event accounting itself.
+func BenchmarkMitigatedRunMetricsOff(b *testing.B) {
+	cfg := exp.RunConfig{
+		Workload: "mcf",
+		TRH:      1000,
+		Seed:     0xbe7c4,
+		Scheme:   exp.GrapheneWith(tracker.ModeDRFMsb),
+	}
+	benchMitigated(b, cfg)
+}
+
+func BenchmarkMitigatedRunMetricsOn(b *testing.B) {
+	cfg := exp.RunConfig{
+		Workload: "mcf",
+		TRH:      1000,
+		Seed:     0xbe7c4,
+		Scheme:   exp.GrapheneWith(tracker.ModeDRFMsb),
+		Metrics:  &obs.Options{},
+	}
+	benchMitigated(b, cfg)
 }

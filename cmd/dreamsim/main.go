@@ -26,6 +26,13 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		compare  = flag.Bool("compare", false, "also run the unprotected baseline and report slowdown")
 		list     = flag.Bool("list", false, "list workloads and schemes, then exit")
+
+		metrics = flag.String("metrics", "",
+			`observability export formats, comma-separated ("jsonl", "csv", "prom"); empty = off`)
+		metricsDir = flag.String("metrics-dir", "results",
+			"directory for per-run metrics files")
+		metricsEpoch = flag.Int("metrics-epoch", 0,
+			"epoch sampler period in REF intervals (0 = default 16)")
 	)
 	flag.Parse()
 
@@ -46,6 +53,13 @@ func main() {
 		Cores:           *cores,
 		AccessesPerCore: *accesses,
 		Seed:            *seed,
+	}
+	if *metrics != "" {
+		cfg.Metrics = &dream.MetricsOptions{
+			Formats:   strings.Split(*metrics, ","),
+			Dir:       *metricsDir,
+			EpochRefs: *metricsEpoch,
+		}
 	}
 
 	if *compare {

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -46,14 +47,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runIDs  = fs.String("run", "", "experiment ID(s), comma-separated, or 'all'")
-		quick   = fs.Bool("quick", false, "reduced workload set and shorter traces")
-		seed    = fs.Uint64("seed", 0, "override the experiment seed")
-		wls     = fs.String("workloads", "", "comma-separated workload subset")
-		list    = fs.Bool("list", false, "list experiments and exit")
-		nocache = fs.Bool("nocache", false, "disable the process-wide trace/baseline run cache")
-		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = fs.String("memprofile", "", "write an allocation profile to this file at exit")
+		runIDs    = fs.String("run", "", "experiment ID(s), comma-separated, or 'all'")
+		quick     = fs.Bool("quick", false, "reduced workload set and shorter traces")
+		seed      = fs.Uint64("seed", 0, "override the experiment seed")
+		wls       = fs.String("workloads", "", "comma-separated workload subset")
+		list      = fs.Bool("list", false, "list experiments and exit")
+		nocache   = fs.Bool("nocache", false, "disable the process-wide trace/baseline run cache")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 		perfStats = fs.Bool("perfstats", false,
 			"print per-figure wall-clock and simulator events/sec at exit")
 
@@ -67,6 +68,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			`journal file ("" = results/journal.jsonl for '-run all', none otherwise; "off" disables)`)
 		fault = fs.String("fault", "",
 			"inject a test fault: kind:nth[:times], kinds panic|error|flaky|stall (or $EXPERIMENTS_FAULT)")
+
+		metrics = fs.String("metrics", "",
+			`observability export formats, comma-separated ("jsonl", "csv", "prom"); empty = off`)
+		metricsDir = fs.String("metrics-dir", filepath.Join("results", "metrics"),
+			"directory for per-run metrics files")
+		metricsEpoch = fs.Int("metrics-epoch", 0,
+			"epoch sampler period in REF intervals (0 = default 16)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -74,6 +82,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	harness.SetOutput(stderr)
 	if *nocache {
 		exp.SetCacheEnabled(false)
+	}
+	if *metrics != "" {
+		prev := exp.SetDefaultMetrics(&obs.Options{
+			Formats:   strings.Split(*metrics, ","),
+			Dir:       *metricsDir,
+			EpochRefs: *metricsEpoch,
+		})
+		defer exp.SetDefaultMetrics(prev)
 	}
 
 	if spec := firstNonEmpty(*fault, os.Getenv("EXPERIMENTS_FAULT")); spec != "" {

@@ -20,6 +20,8 @@
 package dream
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/addrmap"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/exp"
 	"repro/internal/memctrl"
+	"repro/internal/obs"
 	"repro/internal/security"
 	"repro/internal/stats"
 	"repro/internal/tracker"
@@ -110,7 +113,9 @@ func schemeFor(id SchemeID) (exp.Scheme, error) {
 	}
 }
 
-// Config describes one simulation through the facade.
+// Config describes one simulation through the facade. The zero value of
+// every sizing field means "use the documented default" (see withDefaults);
+// Validate rejects values that are present but out of range.
 type Config struct {
 	// Workload is one of Workloads() (paper Table 3); rate mode runs one
 	// copy per core.
@@ -129,61 +134,180 @@ type Config struct {
 	WindowScale float64
 	// Audit enables the security auditor.
 	Audit bool
+	// Metrics, when non-nil, attaches the observability layer: per-bank
+	// stall attribution, an epoch time-series, and the configured exporters.
+	// The simulated schedule and the returned Result are bit-identical with
+	// metrics on or off.
+	Metrics *MetricsOptions
+}
+
+// Observability types, re-exported so facade users configure metrics and
+// consume reports without importing internals.
+type (
+	// MetricsOptions selects what a run collects and where it exports.
+	MetricsOptions = obs.Options
+	// MetricsReport is the frozen end-of-run metrics view (Options.OnReport).
+	MetricsReport = obs.Report
+	// MetricsExporter renders a MetricsReport to a sink (Options.Exporters).
+	MetricsExporter = obs.Exporter
+	// EpochSample is one time-series point of the epoch sampler.
+	EpochSample = obs.EpochSample
+	// MetricsEvent is one sampled mitigation-trace record (Options.OnEvent).
+	MetricsEvent = obs.Event
+)
+
+// withDefaults fills every unset sizing field with its documented default.
+func (c Config) withDefaults() Config {
+	if c.TRH == 0 {
+		c.TRH = 2000
+	}
+	if c.WindowScale == 0 {
+		c.WindowScale = 1.0 / 16
+	}
+	if c.Cores == 0 {
+		c.Cores = 8
+	}
+	if c.AccessesPerCore == 0 {
+		c.AccessesPerCore = 200_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+	return c
+}
+
+// Validate reports whether the configuration is runnable. Zero values are
+// legal everywhere they have defaults (a zero TRH means 2000, not an error);
+// set values must be in range. An empty Scheme is allowed — SimulateCustom
+// supplies its own mitigator — but a non-empty Scheme must name a built-in.
+func (c Config) Validate() error {
+	if c.TRH != 0 && c.TRH < 4 {
+		return fmt.Errorf("dream: TRH %d out of range (trackers need TRH >= 4)", c.TRH)
+	}
+	if c.WindowScale != 0 && (c.WindowScale < 0 || c.WindowScale > 1) {
+		return fmt.Errorf("dream: WindowScale %v out of range (0, 1]", c.WindowScale)
+	}
+	if c.Cores < 0 || c.Cores > 512 {
+		return fmt.Errorf("dream: Cores %d out of range [0, 512]", c.Cores)
+	}
+	if c.Scheme != "" {
+		if _, err := schemeFor(c.Scheme); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runConfig lowers a default-filled facade config onto the experiment
+// runner's RunConfig.
+func (c Config) runConfig(sc exp.Scheme, ctx context.Context) exp.RunConfig {
+	return exp.RunConfig{
+		Workload:        c.Workload,
+		Cores:           c.Cores,
+		AccessesPerCore: c.AccessesPerCore,
+		TRH:             c.TRH,
+		Scheme:          sc,
+		Seed:            c.Seed,
+		WindowScale:     c.WindowScale,
+		Audit:           c.Audit,
+		Metrics:         c.Metrics,
+		Ctx:             ctx,
+	}
 }
 
 // Result is re-exported from the stats package.
 type Result = stats.RunResult
 
+// firstJobErr maps a ParallelCtx outcome onto the facade contract. The
+// harness treats context-skipped jobs as non-failures (a -keep-going
+// campaign must not count them), but a facade caller asked for exactly these
+// results — a job skipped by the caller's context surfaces ctx.Err() instead
+// of silently returning a zero Result.
+func firstJobErr(ctx context.Context, errs []error, err error) error {
+	if err != nil {
+		return err
+	}
+	for _, e := range errs {
+		if e != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			return e
+		}
+	}
+	return nil
+}
+
 // Workloads lists the Table-3 workload names.
 func Workloads() []string { return workload.Names() }
 
 // Simulate runs one configuration.
+//
+// Deprecated: equivalent to SimulateContext(context.Background(), cfg);
+// retained so existing callers keep compiling.
 func Simulate(cfg Config) (Result, error) {
+	return SimulateContext(context.Background(), cfg)
+}
+
+// SimulateContext runs one configuration under ctx: cancelling ctx aborts
+// the simulation at its next progress check with an error satisfying
+// errors.Is(err, ctx.Err()). The run executes on the experiment harness's
+// shared worker pool (exp.ParallelCtx), so facade runs and full-figure
+// experiments share one scheduling and cancellation path.
+func SimulateContext(ctx context.Context, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	sc, err := schemeFor(cfg.Scheme)
 	if err != nil {
 		return Result{}, err
 	}
-	if cfg.TRH == 0 {
-		cfg.TRH = 2000
+	results, errs, err := exp.ParallelCtx(ctx, 1,
+		func(jctx context.Context, _ int) (Result, error) {
+			return exp.Run(cfg.runConfig(sc, jctx))
+		})
+	if err := firstJobErr(ctx, errs, err); err != nil {
+		return Result{}, err
 	}
-	if cfg.WindowScale == 0 {
-		cfg.WindowScale = 1.0 / 16
-	}
-	return exp.Run(exp.RunConfig{
-		Workload:        cfg.Workload,
-		Cores:           cfg.Cores,
-		AccessesPerCore: cfg.AccessesPerCore,
-		TRH:             cfg.TRH,
-		Scheme:          sc,
-		Seed:            cfg.Seed,
-		WindowScale:     cfg.WindowScale,
-		Audit:           cfg.Audit,
-	})
+	return results[0], nil
 }
 
 // Compare runs the unprotected baseline and the scheme on identical traces
 // and returns both results plus the slowdown fraction.
+//
+// Deprecated: equivalent to CompareContext(context.Background(), cfg);
+// retained so existing callers keep compiling.
 func Compare(cfg Config) (base, scheme Result, slowdown float64, err error) {
+	return CompareContext(context.Background(), cfg)
+}
+
+// CompareContext is Compare under a context: baseline and scheme run
+// concurrently on the shared worker pool (identical traces — the trace set
+// is memoized by seed), and cancelling ctx aborts both.
+func CompareContext(ctx context.Context, cfg Config) (base, scheme Result, slowdown float64, err error) {
+	cfg = cfg.withDefaults()
+	if err = cfg.Validate(); err != nil {
+		return
+	}
 	sc, err := schemeFor(cfg.Scheme)
 	if err != nil {
 		return
 	}
-	if cfg.TRH == 0 {
-		cfg.TRH = 2000
+	results, errs, err := exp.ParallelCtx(ctx, 2,
+		func(jctx context.Context, i int) (Result, error) {
+			rc := cfg.runConfig(sc, jctx)
+			if i == 0 {
+				rc.Scheme = exp.Scheme{Name: "base"}
+			}
+			return exp.Run(rc)
+		})
+	if err = firstJobErr(ctx, errs, err); err != nil {
+		return
 	}
-	if cfg.WindowScale == 0 {
-		cfg.WindowScale = 1.0 / 16
-	}
-	return exp.RunPair(exp.RunConfig{
-		Workload:        cfg.Workload,
-		Cores:           cfg.Cores,
-		AccessesPerCore: cfg.AccessesPerCore,
-		TRH:             cfg.TRH,
-		Scheme:          sc,
-		Seed:            cfg.Seed,
-		WindowScale:     cfg.WindowScale,
-		Audit:           cfg.Audit,
-	})
+	base, scheme = results[0], results[1]
+	slowdown = stats.Slowdown(base, scheme)
+	return
 }
 
 // AttackKind selects a Rowhammer pattern.
@@ -197,14 +321,58 @@ const (
 	AttackCircular AttackKind = "circular"
 )
 
-// AttackConfig describes an attack run.
+// AttackConfig describes an attack run. As with Config, zero sizing fields
+// take documented defaults and Validate rejects out-of-range values.
 type AttackConfig struct {
-	Kind    AttackKind
-	Scheme  SchemeID
-	TRH     int
-	Acts    uint64 // attacker activations (default 500_000)
-	Seed    uint64
+	Kind   AttackKind
+	Scheme SchemeID
+	TRH    int
+	Acts   uint64 // attacker activations (default 500_000)
+	Seed   uint64
+	// Cores sizes the machine (default 8): core 0 runs the attacker, the
+	// rest run Victims (or sit idle).
+	Cores   int
 	Victims string // optional benign workload on the other cores
+	// Metrics attaches the observability layer, as on Config.
+	Metrics *MetricsOptions
+}
+
+// withDefaults fills every unset sizing field with its documented default.
+func (c AttackConfig) withDefaults() AttackConfig {
+	if c.TRH == 0 {
+		c.TRH = 2000
+	}
+	if c.Acts == 0 {
+		c.Acts = 500_000
+	}
+	if c.Cores == 0 {
+		c.Cores = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+	return c
+}
+
+// Validate reports whether the attack configuration is runnable.
+func (c AttackConfig) Validate() error {
+	switch c.Kind {
+	case AttackDoubleSided, AttackCircular:
+	default:
+		return fmt.Errorf("dream: unknown attack kind %q", c.Kind)
+	}
+	if c.TRH != 0 && c.TRH < 4 {
+		return fmt.Errorf("dream: TRH %d out of range (trackers need TRH >= 4)", c.TRH)
+	}
+	if c.Cores < 0 || c.Cores > 512 {
+		return fmt.Errorf("dream: Cores %d out of range [0, 512]", c.Cores)
+	}
+	if c.Scheme != "" {
+		if _, err := schemeFor(c.Scheme); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // AttackResult reports the audit outcome.
@@ -217,18 +385,45 @@ type AttackResult struct {
 	Breached bool
 }
 
+// MarshalJSON emits the embedded Result's versioned encoding plus the
+// "breached" field. Without this, the promoted Result.MarshalJSON would
+// silently drop Breached from the output.
+func (r AttackResult) MarshalJSON() ([]byte, error) {
+	inner, err := json.Marshal(r.Result)
+	if err != nil {
+		return nil, err
+	}
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(inner, &fields); err != nil {
+		return nil, err
+	}
+	breached, err := json.Marshal(r.Breached)
+	if err != nil {
+		return nil, err
+	}
+	fields["breached"] = breached
+	return json.Marshal(fields)
+}
+
 // Attack mounts the pattern against the scheme with the auditor enabled.
 // The attacker runs with a tiny LLC (modelling clflush) at maximum rate.
+//
+// Deprecated: equivalent to AttackContext(context.Background(), cfg);
+// retained so existing callers keep compiling.
 func Attack(cfg AttackConfig) (AttackResult, error) {
+	return AttackContext(context.Background(), cfg)
+}
+
+// AttackContext is Attack under a context (see SimulateContext for the
+// cancellation contract).
+func AttackContext(ctx context.Context, cfg AttackConfig) (AttackResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return AttackResult{}, err
+	}
 	sc, err := schemeFor(cfg.Scheme)
 	if err != nil {
 		return AttackResult{}, err
-	}
-	if cfg.TRH == 0 {
-		cfg.TRH = 2000
-	}
-	if cfg.Acts == 0 {
-		cfg.Acts = 500_000
 	}
 	mapper, err := addrmap.NewMOP4(addrmap.Default())
 	if err != nil {
@@ -246,15 +441,15 @@ func Attack(cfg AttackConfig) (AttackResult, error) {
 	if err != nil {
 		return AttackResult{}, err
 	}
-	traces := make([]cpu.Trace, 8)
+	traces := make([]cpu.Trace, cfg.Cores)
 	traces[0] = atk
-	for i := 1; i < 8; i++ {
+	for i := 1; i < cfg.Cores; i++ {
 		if cfg.Victims != "" {
 			p, err := workload.ByName(cfg.Victims)
 			if err != nil {
 				return AttackResult{}, err
 			}
-			g, err := workload.New(p, cfg.Acts/8, i, cfg.Seed)
+			g, err := workload.New(p, cfg.Acts/uint64(cfg.Cores), i, cfg.Seed)
 			if err != nil {
 				return AttackResult{}, err
 			}
@@ -263,14 +458,19 @@ func Attack(cfg AttackConfig) (AttackResult, error) {
 			traces[i] = workload.IdleTrace{}
 		}
 	}
-	r, err := exp.Run(exp.RunConfig{
-		Workload: string(cfg.Kind), Cores: 8, AccessesPerCore: cfg.Acts,
-		TRH: cfg.TRH, Scheme: sc, Seed: cfg.Seed, WindowScale: 1,
-		Audit: true, SmallLLC: true, Traces: traces,
-	})
-	if err != nil {
+	results, errs, err := exp.ParallelCtx(ctx, 1,
+		func(jctx context.Context, _ int) (Result, error) {
+			return exp.Run(exp.RunConfig{
+				Workload: string(cfg.Kind), Cores: cfg.Cores, AccessesPerCore: cfg.Acts,
+				TRH: cfg.TRH, Scheme: sc, Seed: cfg.Seed, WindowScale: 1,
+				Audit: true, SmallLLC: true, Traces: traces,
+				Metrics: cfg.Metrics, Ctx: jctx,
+			})
+		})
+	if err := firstJobErr(ctx, errs, err); err != nil {
 		return AttackResult{}, err
 	}
+	r := results[0]
 	return AttackResult{Result: r, Breached: r.MaxVictim >= 2*uint64(cfg.TRH)}, nil
 }
 
@@ -299,27 +499,33 @@ const (
 
 // SimulateCustom runs a workload under a user-provided mitigator factory
 // (one mitigator per sub-channel).
+//
+// Deprecated: equivalent to SimulateCustomContext(context.Background(),
+// cfg, build); retained so existing callers keep compiling.
 func SimulateCustom(cfg Config, build func(sub int) Mitigator) (Result, error) {
-	if cfg.TRH == 0 {
-		cfg.TRH = 2000
-	}
-	if cfg.WindowScale == 0 {
-		cfg.WindowScale = 1.0 / 16
+	return SimulateCustomContext(context.Background(), cfg, build)
+}
+
+// SimulateCustomContext is SimulateCustom under a context (see
+// SimulateContext for the cancellation contract). Config.Scheme is ignored;
+// the build factory supplies the mitigators.
+func SimulateCustomContext(ctx context.Context, cfg Config, build func(sub int) Mitigator) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	sc := exp.Scheme{
 		Name:  "custom",
 		Build: func(env exp.Env, sub int) (memctrl.Mitigator, error) { return build(sub), nil },
 	}
-	return exp.Run(exp.RunConfig{
-		Workload:        cfg.Workload,
-		Cores:           cfg.Cores,
-		AccessesPerCore: cfg.AccessesPerCore,
-		TRH:             cfg.TRH,
-		Scheme:          sc,
-		Seed:            cfg.Seed,
-		WindowScale:     cfg.WindowScale,
-		Audit:           cfg.Audit,
-	})
+	results, errs, err := exp.ParallelCtx(ctx, 1,
+		func(jctx context.Context, _ int) (Result, error) {
+			return exp.Run(cfg.runConfig(sc, jctx))
+		})
+	if err := firstJobErr(ctx, errs, err); err != nil {
+		return Result{}, err
+	}
+	return results[0], nil
 }
 
 // Analysis re-exports the paper's analytic models.

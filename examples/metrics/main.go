@@ -1,0 +1,120 @@
+// Metrics example: run one mitigated simulation with the observability
+// layer on, capture the epoch time-series via OnReport, and render the IPC
+// curve plus the per-cause stall breakdown as ASCII — the programmatic
+// equivalent of the JSONL/CSV/Prometheus file exporters.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	dream "repro"
+)
+
+func main() {
+	var report *dream.MetricsReport
+	cfg := dream.Config{
+		Workload: "mcf",
+		Scheme:   dream.DreamRMINT,
+		TRH:      1000, // low threshold => plenty of mitigation activity
+		Seed:     42,
+		Metrics: &dream.MetricsOptions{
+			EpochRefs: 4, // fine-grained: one sample per 4 REFs (~16 µs)
+			OnReport:  func(r *dream.MetricsReport) { report = r },
+		},
+	}
+	res, err := dream.SimulateContext(context.Background(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %s, T_RH=%d: IPC sum %.3f, %d mitigations\n\n",
+		cfg.Scheme, cfg.Workload, cfg.TRH, res.IPCSum(), res.Mitigations)
+
+	plotIPC(report.Epochs)
+	fmt.Println()
+	plotStalls(report)
+}
+
+// plotIPC draws the per-epoch aggregate-IPC series as a bar per epoch,
+// bucketing epochs into at most 48 columns so long runs stay readable.
+func plotIPC(epochs []dream.EpochSample) {
+	if len(epochs) == 0 {
+		fmt.Println("no epoch samples (run shorter than one epoch)")
+		return
+	}
+	const cols, rows = 48, 10
+	buckets := bucketize(epochs, cols)
+	maxIPC := 0.0
+	for _, v := range buckets {
+		if v > maxIPC {
+			maxIPC = v
+		}
+	}
+	fmt.Printf("aggregate IPC per epoch (%d epochs, peak %.3f):\n", len(epochs), maxIPC)
+	for r := rows; r >= 1; r-- {
+		line := make([]byte, len(buckets))
+		for i, v := range buckets {
+			if v >= maxIPC*float64(r)/rows {
+				line[i] = '#'
+			} else {
+				line[i] = ' '
+			}
+		}
+		fmt.Printf("  %5.2f |%s\n", maxIPC*float64(r)/rows, line)
+	}
+	fmt.Printf("        +%s\n", strings.Repeat("-", len(buckets)))
+	fmt.Printf("         0 ns %s %.0f us\n",
+		strings.Repeat(" ", max(0, len(buckets)-14)), epochs[len(epochs)-1].AtNS/1000)
+}
+
+// bucketize averages the IPC series down to at most cols columns.
+func bucketize(epochs []dream.EpochSample, cols int) []float64 {
+	if len(epochs) < cols {
+		cols = len(epochs)
+	}
+	out := make([]float64, cols)
+	for i := range out {
+		lo, hi := i*len(epochs)/cols, (i+1)*len(epochs)/cols
+		if hi == lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, e := range epochs[lo:hi] {
+			sum += e.IPC
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// plotStalls prints the device-wide stall total per cause, in ticks, as
+// recorded by the per-bank stall attribution.
+func plotStalls(report *dream.MetricsReport) {
+	totals := make(map[string]uint64)
+	var peak uint64
+	for _, sub := range report.Subs {
+		for cause, perBank := range sub.StallTicks {
+			for _, t := range perBank {
+				totals[cause] += t
+			}
+			if totals[cause] > peak {
+				peak = totals[cause]
+			}
+		}
+	}
+	fmt.Println("stall ticks by cause (all banks, all sub-channels):")
+	for _, cause := range []string{"ref", "nrr", "drfmsb", "drfmab", "sample", "gang", "abo", "queue"} {
+		t, ok := totals[cause]
+		if !ok {
+			continue
+		}
+		bar := 0
+		if peak > 0 {
+			bar = int(t * 40 / peak)
+		}
+		fmt.Printf("  %-7s %12d |%s\n", cause, t, strings.Repeat("#", bar))
+	}
+}

@@ -330,6 +330,18 @@ func (s *SubChannel) ValidDARs(set []int) int {
 // BusFreeAt reports when the shared data bus becomes free.
 func (s *SubChannel) BusFreeAt() Tick { return s.busFreeAt }
 
+// BankActivations returns a copy of the per-bank ACT counters (demand plus
+// explicit-sample dummy activations).
+func (s *SubChannel) BankActivations() []uint64 {
+	return append([]uint64(nil), s.bankActs...)
+}
+
+// BankMitigations returns a copy of the per-bank victim-refresh counters
+// (including footnote-1 in-DRAM fallback mitigations).
+func (s *SubChannel) BankMitigations() []uint64 {
+	return append([]uint64(nil), s.bankMits...)
+}
+
 // AverageRLP reports mitigated rows per DRFM command issued so far.
 func (s *SubChannel) AverageRLP() float64 {
 	n := s.DRFMsbs + s.DRFMabs

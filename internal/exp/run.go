@@ -17,6 +17,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/harness"
 	"repro/internal/memctrl"
+	"repro/internal/obs"
 	"repro/internal/runcache"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -89,6 +90,16 @@ type RunConfig struct {
 	// MaxTime caps simulated time (0 = default 200 ms).
 	MaxTime sim.Tick
 
+	// Metrics, when non-nil, attaches the observability layer (internal/obs):
+	// per-bank stall attribution, epoch time-series sampling, and exporters.
+	// Metrics-bearing runs bypass the run cache — a cache hit replays a stored
+	// result without simulating, so it could emit nothing — and the RunResult
+	// is bit-identical with metrics on or off (TestMetricsBitIdentity).
+	Metrics *obs.Options
+	// Ctx, when non-nil, cancels the run: the simulation aborts at the next
+	// progress check with an error satisfying errors.Is(err, ctx.Err()).
+	Ctx context.Context
+
 	// legacySched selects the flat-queue reference scheduler in the memory
 	// controllers (equivalence tests only).
 	legacySched bool
@@ -131,6 +142,20 @@ var simEvents atomic.Uint64
 // this process so far.
 func SimEvents() uint64 { return simEvents.Load() }
 
+// defaultMetrics is the process-wide observability default applied to runs
+// whose RunConfig.Metrics is nil (how the CLI -metrics flags reach every
+// registered experiment without threading options through each of them).
+var defaultMetrics atomic.Pointer[obs.Options]
+
+// SetDefaultMetrics installs (or, with nil, clears) process-wide metrics
+// options for every subsequent Run whose config leaves Metrics nil, and
+// returns the previous setting. The options value is shared across runs, so
+// callback fields (OnReport, OnEvent) must be goroutine-safe when runs
+// execute in parallel.
+func SetDefaultMetrics(o *obs.Options) (prev *obs.Options) {
+	return defaultMetrics.Swap(o)
+}
+
 // traceKey builds the cache identity of cfg's trace set, and whether the
 // config is cacheable at all (explicit Traces are not).
 func (cfg RunConfig) traceKey() (runcache.TraceKey, bool) {
@@ -158,7 +183,7 @@ func (cfg RunConfig) traceKey() (runcache.TraceKey, bool) {
 // baseline per workload.
 func (cfg RunConfig) runKey() (runcache.RunKey, bool) {
 	tk, ok := cfg.traceKey()
-	if !ok || cfg.Scheme.Build != nil || cfg.legacySched || cfg.legacyEngine {
+	if !ok || cfg.Scheme.Build != nil || cfg.Metrics != nil || cfg.legacySched || cfg.legacyEngine {
 		return runcache.RunKey{}, false
 	}
 	mop := cfg.MOPCap
@@ -289,6 +314,14 @@ func Run(cfg RunConfig) (stats.RunResult, error) {
 	if cfg.MaxTime == 0 {
 		cfg.MaxTime = 200 * 1000 * 1000 * sim.TicksPerNS // 200 ms
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = defaultMetrics.Load()
+	}
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return stats.RunResult{}, harness.Wrap(cfg.runID(), err)
+		}
+	}
 
 	r, err := runMemo(cfg, 0)
 	if err != nil && harness.IsRetryable(err) {
@@ -399,14 +432,33 @@ func runUncached(cfg RunConfig, attempt int) (res stats.RunResult, err error) {
 		}
 	}
 
-	// The watchdog (and any injected stall) rides the progress callback;
-	// with neither armed the hook stays nil and the event loop is exactly
-	// the pre-harness hot path.
-	if wd := harness.NewWatchdog(id, RunTimeout()); wd != nil || fault != nil {
+	// The watchdog, cancellation, and any injected stall ride the progress
+	// callback; with none armed the hook stays nil and the event loop is
+	// exactly the pre-harness hot path.
+	ctx := cfg.Ctx
+	if wd := harness.NewWatchdog(id, RunTimeout()); wd != nil || fault != nil || ctx != nil {
 		sysCfg.OnProgress = func(now sim.Tick, events uint64) error {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			fault.Stall()
 			return wd.Check(int64(now), events)
 		}
+	}
+
+	var obsRun *obs.Run
+	if cfg.Metrics != nil {
+		obsRun = obs.NewRun(*cfg.Metrics, obs.Meta{
+			Scheme:   cfg.Scheme.Name,
+			Workload: id.Workload,
+			TRH:      cfg.TRH,
+			Seed:     cfg.Seed,
+			Subs:     sysCfg.Geometry.SubChannels,
+			Banks:    sysCfg.Geometry.Banks,
+		})
+		sysCfg.Obs = obsRun
 	}
 
 	sys, err := system.New(sysCfg, traces)
@@ -418,6 +470,11 @@ func runUncached(cfg RunConfig, attempt int) (res stats.RunResult, err error) {
 	simEvents.Add(ev)
 	if err != nil {
 		return stats.RunResult{}, harness.Wrap(id, err)
+	}
+	if obsRun != nil {
+		if err := sys.FinishObs(); err != nil {
+			return stats.RunResult{}, harness.Wrap(id, fmt.Errorf("exporting metrics: %w", err))
+		}
 	}
 	return collect(cfg, sys), nil
 }
@@ -643,7 +700,9 @@ func Parallel[T any](n int, job func(i int) (T, error)) ([]T, error) {
 // harness.ErrSkipped. It returns the per-index results that did finish
 // (zero values elsewhere), a per-index error slice (nil = finished), and
 // an errors.Join of the real failures — skip markers are reported in errs
-// but excluded from the join so callers see causes, not fallout.
+// but excluded from the join so callers see causes, not fallout; callers
+// that need exactly one result (the facade) must inspect errs to tell a
+// skipped job from a finished one.
 func ParallelCtx[T any](ctx context.Context, n int, job func(ctx context.Context, i int) (T, error)) ([]T, []error, error) {
 	if n <= 0 {
 		return nil, nil, nil

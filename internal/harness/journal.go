@@ -9,13 +9,20 @@ import (
 	"strings"
 )
 
+// EntrySchemaVersion versions the journal's JSONL encoding, following the
+// same convention as stats.SchemaVersion; bump on incompatible change.
+const EntrySchemaVersion = 1
+
 // Entry is one journaled experiment completion. A `-run all` campaign
 // appends an entry per experiment — pass or fail — so a later `-resume`
 // can skip what already succeeded and a `-keep-going` run can summarise
 // failures at exit.
 type Entry struct {
-	ID     string `json:"id"`
-	Status string `json:"status"` // "ok" or "fail"
+	// SchemaVersion is stamped by Record; entries written before versioning
+	// read back as 0 and remain accepted.
+	SchemaVersion int    `json:"schema_version"`
+	ID            string `json:"id"`
+	Status        string `json:"status"` // "ok" or "fail"
 	// Error holds the failure text (Status "fail").
 	Error string `json:"error,omitempty"`
 	// Output is the experiment's rendered tables/figures.
@@ -115,6 +122,9 @@ func (j *Journal) Failed() []string {
 func (j *Journal) Record(e Entry) error {
 	if e.Status != StatusOK && e.Status != StatusFail {
 		return fmt.Errorf("harness: journal entry %q has invalid status %q", e.ID, e.Status)
+	}
+	if e.SchemaVersion == 0 {
+		e.SchemaVersion = EntrySchemaVersion
 	}
 	j.entries = append(j.entries, e)
 	if err := os.MkdirAll(filepath.Dir(j.path), 0o755); err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
+	"repro/internal/obs"
 	"repro/internal/rowtable"
 	"repro/internal/sim"
 )
@@ -93,6 +94,11 @@ type Controller struct {
 	// RowACTs counts demand activations per packed (bank,row) key when
 	// characterisation is enabled (nil otherwise).
 	RowACTs *rowtable.Table
+
+	// Obs is the optional per-sub-channel metrics recorder. Every hook is
+	// behind a nil check, so a run without metrics pays one predictable
+	// branch per site and the simulated schedule is untouched either way.
+	Obs *obs.SubRecorder
 
 	// Stats.
 	Activations   uint64
@@ -251,6 +257,9 @@ func (c *Controller) service(r Request, start Tick) error {
 	t := start
 	var dec Decision
 	activated := false
+	if c.Obs != nil {
+		c.Obs.OnQueueWait(b, start-r.Arrival)
+	}
 
 	if open != dram.NoRow && open != int64(r.Row) {
 		var err error
@@ -279,6 +288,9 @@ func (c *Controller) service(r Request, start Tick) error {
 			c.RowACTs.Incr(rowtable.Key(b, r.Row), 1)
 		}
 		c.Activations++
+		if c.Obs != nil {
+			c.Obs.OnAct(b)
+		}
 		c.sampleOnClose[b] = dec.Sample
 		activated = true
 		t = at
@@ -301,9 +313,15 @@ func (c *Controller) service(r Request, start Tick) error {
 	c.hits[b]++
 	if !activated {
 		c.RowHits++
+		if c.Obs != nil {
+			c.Obs.OnHit(b)
+		}
 	}
 	if !r.IsWrite {
 		c.LatencySum += done - r.Arrival
+		if c.Obs != nil {
+			c.Obs.OnReadLatency(done - r.Arrival)
+		}
 		if r.Notify && c.onDone != nil {
 			c.onDone(r.Core, r.Token, done+c.cfg.ChipLatency)
 		}
@@ -348,6 +366,9 @@ func (c *Controller) doRefresh() error {
 	c.sched.dirtyAll()
 	c.RefreshStall += c.dev.Timings.TRFC
 	c.refreshesDone++
+	if c.Obs != nil {
+		c.Obs.OnRefresh(start, c.refIndex, c.dev.Timings.TRFC)
+	}
 	refIdx := c.refIndex
 	c.refIndex++
 	c.nextRefresh += c.dev.Timings.TREFI
@@ -397,6 +418,10 @@ func (c *Controller) execOp(op Op, after Tick) (Tick, error) {
 		c.sched.dirtyBank(op.Bank)
 		c.reportMits(t+ti.TNRR, mits)
 		c.MitStallBank += ti.TNRR
+		if c.Obs != nil {
+			c.Obs.AddStall(obs.CauseNRR, op.Bank, ti.TNRR)
+			c.Obs.OnOp(t, obs.CauseNRR, op.Bank, op.Row)
+		}
 		return t + ti.TNRR, nil
 
 	case OpDRFMsb:
@@ -414,6 +439,10 @@ func (c *Controller) execOp(op Op, after Tick) (Tick, error) {
 		}
 		c.reportMits(t+ti.TDRFMsb, mits)
 		c.MitStallBank += ti.TDRFMsb * Tick(len(set))
+		if c.Obs != nil {
+			c.Obs.AddStallSet(obs.CauseDRFMsb, set, ti.TDRFMsb)
+			c.Obs.OnOp(t, obs.CauseDRFMsb, op.Bank, 0)
+		}
 		return t + ti.TDRFMsb, nil
 
 	case OpDRFMab:
@@ -428,6 +457,10 @@ func (c *Controller) execOp(op Op, after Tick) (Tick, error) {
 		c.sched.dirtyAll()
 		c.reportMits(t+ti.TDRFMab, mits)
 		c.MitStallBank += ti.TDRFMab * Tick(c.dev.NumBanks())
+		if c.Obs != nil {
+			c.Obs.AddStallAll(obs.CauseDRFMab, ti.TDRFMab)
+			c.Obs.OnOp(t, obs.CauseDRFMab, 0, 0)
+		}
 		return t + ti.TDRFMab, nil
 
 	case OpExplicitSample:
@@ -445,6 +478,10 @@ func (c *Controller) execOp(op Op, after Tick) (Tick, error) {
 		}
 		c.mit.OnSampled(end, op.Bank, op.Row)
 		c.MitStallBank += end - t
+		if c.Obs != nil {
+			c.Obs.AddStall(obs.CauseSample, op.Bank, end-t)
+			c.Obs.OnOp(t, obs.CauseSample, op.Bank, op.Row)
+		}
 		return end, nil
 
 	case OpGangMitigate:
@@ -472,6 +509,10 @@ func (c *Controller) execOp(op Op, after Tick) (Tick, error) {
 			c.sched.dirtyAll()
 			c.reportMits(t, mits)
 			c.MitStallBank += (c.cfg.GangSampleDur + ti.TDRFMab) * Tick(c.dev.NumBanks())
+			if c.Obs != nil {
+				c.Obs.AddStallAll(obs.CauseGang, c.cfg.GangSampleDur+ti.TDRFMab)
+				c.Obs.OnOp(t, obs.CauseGang, 0, 0)
+			}
 		}
 		return t, nil
 
@@ -479,6 +520,10 @@ func (c *Controller) execOp(op Op, after Tick) (Tick, error) {
 		c.dev.StallAll(after, op.Dur)
 		c.sched.dirtyAll()
 		c.MitStallBank += op.Dur * Tick(c.dev.NumBanks())
+		if c.Obs != nil {
+			c.Obs.AddStallAll(obs.CauseABO, op.Dur)
+			c.Obs.OnOp(after, obs.CauseABO, 0, 0)
+		}
 		return after + op.Dur, nil
 
 	default:
@@ -515,6 +560,11 @@ func (c *Controller) reportMits(now Tick, mits []dram.Mitigation) {
 	if c.Auditor != nil {
 		for _, m := range mits {
 			c.Auditor.OnMitigate(m.Bank, m.Row)
+		}
+	}
+	if c.Obs != nil {
+		for _, m := range mits {
+			c.Obs.OnMitigated(now, m.Bank, m.Row)
 		}
 	}
 	c.mit.OnMitigations(now, mits)

@@ -1,0 +1,59 @@
+package obs
+
+// EpochSample is one ring-buffered time-series point: deltas over the
+// sampling interval ending at AtNS. IPC is the interval's aggregate
+// instructions-per-cycle over all cores; BWUtil is the data-bus occupancy
+// fraction; StallNS sums per-bank refresh and mitigation stall (CauseQueue
+// is excluded — it attributes request latency, not bank blockage).
+type EpochSample struct {
+	// Epoch is the sample's global index (monotonic even when the ring has
+	// dropped older samples).
+	Epoch uint64 `json:"epoch"`
+	// RefIndex is the refresh index of sub-channel 0 at snapshot time (0
+	// for the tail sample taken at the end of the run).
+	RefIndex uint64 `json:"ref-index"`
+	// AtNS is the simulated time of the snapshot.
+	AtNS float64 `json:"at-ns"`
+
+	IPC         float64 `json:"ipc"`
+	BWUtil      float64 `json:"bw-util"`
+	Reads       uint64  `json:"reads"`
+	Writes      uint64  `json:"writes"`
+	Mitigations uint64  `json:"mitigations"`
+	StallNS     float64 `json:"stall-ns"`
+}
+
+// series is a fixed-capacity ring of epoch samples: the newest RingSize
+// samples are retained; older ones are dropped oldest-first and counted.
+type series struct {
+	buf     []EpochSample
+	start   int
+	n       int
+	total   uint64 // samples ever taken (next sample's Epoch)
+	dropped uint64
+}
+
+func (s *series) init(capacity int) {
+	s.buf = make([]EpochSample, 0, capacity)
+}
+
+func (s *series) add(e EpochSample) {
+	s.total++
+	if s.n < cap(s.buf) {
+		s.buf = append(s.buf, e)
+		s.n++
+		return
+	}
+	s.buf[s.start] = e
+	s.start = (s.start + 1) % s.n
+	s.dropped++
+}
+
+// list returns the retained samples oldest-first.
+func (s *series) list() []EpochSample {
+	out := make([]EpochSample, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.buf[(s.start+i)%s.n])
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ReportSchemaVersion versions the exported report encoding; bump it on any
+// incompatible field change so downstream consumers can gate on it.
+const ReportSchemaVersion = 1
+
+// Report is the frozen end-of-run view of everything a Run collected.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Scheme        string `json:"scheme"`
+	Workload      string `json:"workload"`
+	TRH           int    `json:"trh"`
+	Seed          uint64 `json:"seed"`
+
+	Subs []SubReport `json:"subs"`
+	// Epochs is the retained time series, oldest first.
+	Epochs []EpochSample `json:"epochs"`
+	// DroppedEpochs counts samples the ring evicted (0 = complete series).
+	DroppedEpochs uint64 `json:"dropped-epochs"`
+	// Events counts mitigation-trace events seen (before 1-in-N sampling).
+	Events uint64 `json:"events"`
+}
+
+// SubReport is one sub-channel's per-bank breakdown.
+type SubReport struct {
+	Sub   int `json:"sub"`
+	Banks int `json:"banks"`
+	// StallTicks maps cause name -> per-bank stalled ticks.
+	StallTicks map[string][]uint64 `json:"stall-ticks"`
+	// Acts and Hits are demand activations and row-buffer hits per bank,
+	// counted at the controller.
+	Acts []uint64 `json:"acts"`
+	Hits []uint64 `json:"hits"`
+	// Mitigations counts victim-refreshes per (victim's) bank.
+	Mitigations []uint64 `json:"mitigations"`
+	// DeviceActs/DeviceMits are the device's own per-bank counters (include
+	// explicit-sample dummy activations and in-DRAM fallback mitigations).
+	DeviceActs []uint64 `json:"device-acts,omitempty"`
+	DeviceMits []uint64 `json:"device-mits,omitempty"`
+	// ReadLatencyHist buckets demand-read latency: bucket i counts reads in
+	// [2^i, 2^(i+1)) ns, the last bucket absorbing the overflow.
+	ReadLatencyHist []uint64 `json:"read-latency-hist"`
+	// Gauges are tracker-exported values (obs.Gauger), if any.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+}
+
+// StallSum returns the per-bank sum of the given causes' stalled ticks.
+func (s SubReport) StallSum(causes ...Cause) uint64 {
+	var sum uint64
+	for _, c := range causes {
+		for _, v := range s.StallTicks[c.String()] {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Report freezes the current collected state.
+func (r *Run) Report() *Report {
+	rep := &Report{
+		SchemaVersion: ReportSchemaVersion,
+		Scheme:        r.meta.Scheme,
+		Workload:      r.meta.Workload,
+		TRH:           r.meta.TRH,
+		Seed:          r.meta.Seed,
+		Epochs:        r.epochs.list(),
+		DroppedEpochs: r.epochs.dropped,
+		Events:        r.events,
+	}
+	for _, s := range r.subs {
+		sr := SubReport{
+			Sub:             s.sub,
+			Banks:           s.banks,
+			StallTicks:      make(map[string][]uint64, NumCauses),
+			Acts:            append([]uint64(nil), s.acts...),
+			Hits:            append([]uint64(nil), s.hits...),
+			Mitigations:     append([]uint64(nil), s.mits...),
+			DeviceActs:      append([]uint64(nil), s.deviceActs...),
+			DeviceMits:      append([]uint64(nil), s.deviceMits...),
+			ReadLatencyHist: append([]uint64(nil), s.latHist[:]...),
+			Gauges:          s.gauges,
+		}
+		for c := Cause(0); c < NumCauses; c++ {
+			sr.StallTicks[c.String()] = append([]uint64(nil), s.stall[c]...)
+		}
+		rep.Subs = append(rep.Subs, sr)
+	}
+	return rep
+}
+
+// Exporter renders a finished run's Report to some sink.
+type Exporter interface {
+	Export(r *Report) error
+}
+
+// --- JSONL -------------------------------------------------------------------
+
+// JSONLExporter writes one "run" line (identity + per-bank breakdown)
+// followed by one "epoch" line per retained sample; every line is an
+// independent JSON object carrying schema_version, so consumers can stream
+// or grep without parsing the whole file.
+type JSONLExporter struct{ W io.Writer }
+
+// Export implements Exporter.
+func (e JSONLExporter) Export(r *Report) error {
+	enc := json.NewEncoder(e.W)
+	head := struct {
+		Kind string `json:"kind"`
+		*Report
+	}{Kind: "run", Report: r}
+	// Epochs go on their own lines.
+	trimmed := *r
+	trimmed.Epochs = nil
+	head.Report = &trimmed
+	if err := enc.Encode(head); err != nil {
+		return fmt.Errorf("obs: jsonl run line: %w", err)
+	}
+	for _, ep := range r.Epochs {
+		line := struct {
+			Kind          string `json:"kind"`
+			SchemaVersion int    `json:"schema_version"`
+			EpochSample
+		}{Kind: "epoch", SchemaVersion: r.SchemaVersion, EpochSample: ep}
+		if err := enc.Encode(line); err != nil {
+			return fmt.Errorf("obs: jsonl epoch line: %w", err)
+		}
+	}
+	return nil
+}
+
+// --- CSV ---------------------------------------------------------------------
+
+// CSVHeader is the epoch-series CSV column set, in order.
+const CSVHeader = "epoch,ref-index,at-ns,ipc,bw-util,reads,writes,mitigations,stall-ns"
+
+// CSVExporter writes the epoch time series as CSV (plotting scripts).
+type CSVExporter struct{ W io.Writer }
+
+// Export implements Exporter.
+func (e CSVExporter) Export(r *Report) error {
+	var b strings.Builder
+	b.WriteString(CSVHeader)
+	b.WriteByte('\n')
+	for _, ep := range r.Epochs {
+		fmt.Fprintf(&b, "%d,%d,%.1f,%.4f,%.4f,%d,%d,%d,%.1f\n",
+			ep.Epoch, ep.RefIndex, ep.AtNS, ep.IPC, ep.BWUtil,
+			ep.Reads, ep.Writes, ep.Mitigations, ep.StallNS)
+	}
+	_, err := io.WriteString(e.W, b.String())
+	return err
+}
+
+// --- Prometheus text ---------------------------------------------------------
+
+// PromExporter dumps the final counters in Prometheus text exposition
+// format (one-shot scrape file; load with promtool or a textfile collector).
+type PromExporter struct{ W io.Writer }
+
+// Export implements Exporter.
+func (e PromExporter) Export(r *Report) error {
+	var b strings.Builder
+	ident := fmt.Sprintf(`scheme=%q,workload=%q`, r.Scheme, r.Workload)
+	b.WriteString("# HELP dream_bank_stall_ns_total Stalled time per bank attributed by cause.\n")
+	b.WriteString("# TYPE dream_bank_stall_ns_total counter\n")
+	for _, s := range r.Subs {
+		for c := Cause(0); c < NumCauses; c++ {
+			arr := s.StallTicks[c.String()]
+			for bank, ticks := range arr {
+				if ticks == 0 {
+					continue
+				}
+				fmt.Fprintf(&b, "dream_bank_stall_ns_total{%s,sub=\"%d\",bank=\"%d\",cause=%q} %.1f\n",
+					ident, s.Sub, bank, c.String(), Tick(ticks).Nanoseconds())
+			}
+		}
+	}
+	writeBank := func(name, help string, pick func(SubReport) []uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, s := range r.Subs {
+			for bank, v := range pick(s) {
+				if v == 0 {
+					continue
+				}
+				fmt.Fprintf(&b, "%s{%s,sub=\"%d\",bank=\"%d\"} %d\n", name, ident, s.Sub, bank, v)
+			}
+		}
+	}
+	writeBank("dream_bank_activations_total", "Demand activations per bank.",
+		func(s SubReport) []uint64 { return s.Acts })
+	writeBank("dream_bank_row_hits_total", "Row-buffer hits per bank.",
+		func(s SubReport) []uint64 { return s.Hits })
+	writeBank("dream_bank_mitigations_total", "Victim-refreshes per bank.",
+		func(s SubReport) []uint64 { return s.Mitigations })
+
+	b.WriteString("# HELP dream_read_latency_ns Demand-read latency histogram (power-of-two ns buckets).\n")
+	b.WriteString("# TYPE dream_read_latency_ns histogram\n")
+	for _, s := range r.Subs {
+		var cum uint64
+		for i, v := range s.ReadLatencyHist {
+			cum += v
+			le := fmt.Sprintf("%d", uint64(2)<<uint(i))
+			if i == len(s.ReadLatencyHist)-1 {
+				le = "+Inf"
+			}
+			fmt.Fprintf(&b, "dream_read_latency_ns_bucket{%s,sub=\"%d\",le=%q} %d\n", ident, s.Sub, le, cum)
+		}
+		fmt.Fprintf(&b, "dream_read_latency_ns_count{%s,sub=\"%d\"} %d\n", ident, s.Sub, cum)
+	}
+	for _, s := range r.Subs {
+		if len(s.Gauges) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(s.Gauges))
+		for k := range s.Gauges {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "dream_tracker_gauge{%s,sub=\"%d\",name=%q} %g\n", ident, s.Sub, k, s.Gauges[k])
+		}
+	}
+	_, err := io.WriteString(e.W, b.String())
+	return err
+}
+
+// --- file sinks --------------------------------------------------------------
+
+// FileBase returns the sanitized per-run file stem used by the Dir/Formats
+// exporters: <scheme>_<workload>_trh<T>_seed<hex>.
+func FileBase(meta Meta) string {
+	wl := meta.Workload
+	if wl == "" {
+		wl = "traces"
+	}
+	return fmt.Sprintf("%s_%s_trh%d_seed%x", sanitize(meta.Scheme), sanitize(wl), meta.TRH, meta.Seed)
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	if b.Len() == 0 {
+		return "run"
+	}
+	return b.String()
+}
+
+// NewExporters opens one file exporter per format ("jsonl", "csv", "prom")
+// under dir, named after the run identity. The returned close function must
+// be called after Export to flush the files; on error nothing is left open.
+func NewExporters(dir string, formats []string, meta Meta) ([]Exporter, func() error, error) {
+	if dir == "" {
+		dir = "results"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("obs: creating %s: %w", dir, err)
+	}
+	base := FileBase(meta)
+	var files []*os.File
+	closeAll := func() error {
+		var first error
+		for _, f := range files {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	var exps []Exporter
+	for _, format := range formats {
+		var ext string
+		var mk func(io.Writer) Exporter
+		switch strings.ToLower(strings.TrimSpace(format)) {
+		case "jsonl":
+			ext, mk = ".jsonl", func(w io.Writer) Exporter { return JSONLExporter{W: w} }
+		case "csv":
+			ext, mk = ".csv", func(w io.Writer) Exporter { return CSVExporter{W: w} }
+		case "prom", "prometheus":
+			ext, mk = ".prom", func(w io.Writer) Exporter { return PromExporter{W: w} }
+		case "":
+			continue
+		default:
+			_ = closeAll()
+			return nil, nil, fmt.Errorf("obs: unknown export format %q (want jsonl, csv, or prom)", format)
+		}
+		f, err := os.Create(filepath.Join(dir, base+ext))
+		if err != nil {
+			_ = closeAll()
+			return nil, nil, fmt.Errorf("obs: %w", err)
+		}
+		files = append(files, f)
+		exps = append(exps, mk(f))
+	}
+	return exps, closeAll, nil
+}

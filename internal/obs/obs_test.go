@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testRun hand-feeds a two-sub-channel recorder the way a controller would,
+// so exporter tests run without a simulation.
+func testRun(opts Options) *Run {
+	opts.EpochRefs = 1
+	r := NewRun(opts, Meta{Scheme: "s/1", Workload: "w", TRH: 100, Seed: 0xab, Subs: 2, Banks: 4})
+	s0 := r.Sub(0)
+	s0.AddStall(CauseNRR, 1, 2880)
+	s0.AddStallSet(CauseDRFMsb, []int{0, 2}, 100)
+	s0.AddStallAll(CauseDRFMab, 10)
+	s0.OnAct(3)
+	s0.OnHit(3)
+	s0.OnReadLatency(12 * 64) // 64 ns
+	s0.OnQueueWait(0, 50)
+	s0.OnMitigated(5, 2, 99)
+	s0.OnRefresh(1000, 1, 12) // sub 0 REF drives the epoch sampler
+	s1 := r.Sub(1)
+	s1.OnAct(0)
+	s1.OnRefresh(1000, 1, 12) // sub 1 REF must NOT sample
+	r.SetGauges(0, map[string]float64{"entries": 3})
+	return r
+}
+
+func TestSubRecorderAccounting(t *testing.T) {
+	rep := testRun(Options{}).Report()
+	s0 := rep.Subs[0]
+	if got := s0.StallTicks["nrr"][1]; got != 2880 {
+		t.Errorf("nrr bank 1 = %d, want 2880", got)
+	}
+	if got := s0.StallSum(CauseDRFMsb); got != 200 {
+		t.Errorf("drfmsb sum = %d, want 200", got)
+	}
+	if got := s0.StallSum(CauseDRFMab); got != 40 {
+		t.Errorf("drfmab sum = %d, want 40", got)
+	}
+	// REF: tRFC on every bank of both subs.
+	if got := s0.StallSum(CauseREF); got != 48 {
+		t.Errorf("ref sum = %d, want 48", got)
+	}
+	if got := s0.StallSum(CauseQueue); got != 50 {
+		t.Errorf("queue sum = %d, want 50", got)
+	}
+	if s0.Acts[3] != 1 || s0.Hits[3] != 1 || s0.Mitigations[2] != 1 {
+		t.Errorf("acts/hits/mits wrong: %v %v %v", s0.Acts, s0.Hits, s0.Mitigations)
+	}
+	var lat uint64
+	for _, v := range s0.ReadLatencyHist {
+		lat += v
+	}
+	if lat != 1 {
+		t.Errorf("latency histogram count = %d, want 1", lat)
+	}
+	if s0.Gauges["entries"] != 3 {
+		t.Errorf("gauges = %v", s0.Gauges)
+	}
+	// Only sub 0's REF samples an epoch.
+	if len(rep.Epochs) != 1 {
+		t.Fatalf("epochs = %d, want 1", len(rep.Epochs))
+	}
+	// StallNS covers REF + mitigation causes, not queue. The snapshot is
+	// taken during sub 0's REF, so it sees sub 0's nrr 2880 + drfmsb 200 +
+	// drfmab 40 + ref 48 but not sub 1's REF, which lands after.
+	wantStall := Tick(2880 + 200 + 40 + 48).Nanoseconds()
+	if got := rep.Epochs[0].StallNS; got != wantStall {
+		t.Errorf("epoch StallNS = %v, want %v", got, wantStall)
+	}
+}
+
+func TestSeriesRingDropsOldestFirst(t *testing.T) {
+	var s series
+	s.init(4)
+	for i := 0; i < 10; i++ {
+		s.add(EpochSample{Epoch: uint64(i)})
+	}
+	got := s.list()
+	if len(got) != 4 || s.dropped != 6 {
+		t.Fatalf("len %d dropped %d, want 4 / 6", len(got), s.dropped)
+	}
+	for i, e := range got {
+		if e.Epoch != uint64(6+i) {
+			t.Errorf("sample %d epoch %d, want %d (oldest first)", i, e.Epoch, 6+i)
+		}
+	}
+}
+
+func TestEventSampling(t *testing.T) {
+	var seen []Event
+	r := testRun(Options{
+		OnEvent:    func(e Event) { seen = append(seen, e) },
+		EventEvery: 2,
+	})
+	s := r.Sub(0)
+	for i := 0; i < 5; i++ {
+		s.OnOp(Tick(i), CauseNRR, i&3, uint32(i))
+	}
+	rep := r.Report()
+	// testRun already emitted one "mitigate" event, then 5 ops: 6 total,
+	// every 2nd delivered starting with the first.
+	if rep.Events != 6 {
+		t.Errorf("events counted = %d, want 6", rep.Events)
+	}
+	if len(seen) != 3 {
+		t.Errorf("events delivered = %d, want 3 (1-in-2)", len(seen))
+	}
+}
+
+func TestJSONLExporter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (JSONLExporter{W: &buf}).Export(testRun(Options{}).Report()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 { // one run line + one epoch line
+		t.Fatalf("lines = %d, want 2: %q", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if m["schema_version"] != float64(ReportSchemaVersion) {
+			t.Errorf("line %d schema_version = %v", i, m["schema_version"])
+		}
+	}
+	if !strings.Contains(lines[0], `"kind":"run"`) || !strings.Contains(lines[1], `"kind":"epoch"`) {
+		t.Errorf("line kinds wrong: %q", buf.String())
+	}
+}
+
+func TestCSVExporter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (CSVExporter{W: &buf}).Export(testRun(Options{}).Report()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != CSVHeader {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 2 {
+		t.Errorf("rows = %d, want 1", len(lines)-1)
+	}
+	if got := len(strings.Split(lines[1], ",")); got != len(strings.Split(CSVHeader, ",")) {
+		t.Errorf("row has %d columns, header %d", got, len(strings.Split(CSVHeader, ",")))
+	}
+}
+
+func TestPromExporter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (PromExporter{W: &buf}).Export(testRun(Options{}).Report()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`dream_bank_stall_ns_total{scheme="s/1",workload="w",sub="0",bank="1",cause="nrr"} 240.0`,
+		`dream_bank_activations_total{scheme="s/1",workload="w",sub="0",bank="3"} 1`,
+		`dream_read_latency_ns_bucket{scheme="s/1",workload="w",sub="0",le="+Inf"} 1`,
+		`dream_tracker_gauge{scheme="s/1",workload="w",sub="0",name="entries"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q", want)
+		}
+	}
+	// Every non-comment line must be name{labels} value.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, "{") || !strings.Contains(line, "} ") {
+			t.Errorf("malformed prom line: %q", line)
+		}
+	}
+}
+
+func TestFileBaseSanitizes(t *testing.T) {
+	got := FileBase(Meta{Scheme: "s/1", Workload: "", TRH: 5, Seed: 0xff})
+	if got != "s-1_traces_trh5_seedff" {
+		t.Errorf("FileBase = %q", got)
+	}
+}
+
+func TestNewExporters(t *testing.T) {
+	dir := t.TempDir()
+	run := testRun(Options{})
+	exps, closeAll, err := NewExporters(dir, []string{"jsonl", "csv", "prom"}, run.Meta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := run.Report()
+	for _, e := range exps {
+		if err := e.Export(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := closeAll(); err != nil {
+		t.Fatal(err)
+	}
+	base := FileBase(run.Meta())
+	for _, ext := range []string{".jsonl", ".csv", ".prom"} {
+		if m, _ := filepath.Glob(filepath.Join(dir, base+ext)); len(m) != 1 {
+			t.Errorf("missing export file %s%s", base, ext)
+		}
+	}
+	if _, _, err := NewExporters(dir, []string{"xml"}, run.Meta()); err == nil {
+		t.Error("unknown format must error")
+	}
+}
+
+func TestFinishTakesTailSample(t *testing.T) {
+	var rep *Report
+	r := testRun(Options{OnReport: func(x *Report) { rep = x }})
+	if err := r.Finish(5000); err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("OnReport not called")
+	}
+	// One sample from the REF at t=1000, one tail sample at t=5000.
+	if len(rep.Epochs) != 2 {
+		t.Fatalf("epochs = %d, want 2", len(rep.Epochs))
+	}
+	if rep.Epochs[1].AtNS != Tick(5000).Nanoseconds() {
+		t.Errorf("tail sample at %v", rep.Epochs[1].AtNS)
+	}
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleResult() RunResult {
+	return RunResult{
+		Scheme:       "mint-dreamr",
+		Workload:     "mcf",
+		TRH:          1000,
+		CoreIPC:      []float64{0.5, 0.75},
+		CoreRetired:  []int64{1000, 2000},
+		SimTimeNS:    1.5e9,
+		Activations:  123456,
+		RowHits:      65432,
+		Reads:        100000,
+		Writes:       20000,
+		Refreshes:    512,
+		NRRs:         12,
+		DRFMsbs:      34,
+		DRFMabs:      5,
+		RLP:          3.25,
+		Mitigations:  280,
+		AvgReadNS:    61.5,
+		BWUtil:       0.31,
+		MPKI:         12.7,
+		StorageBits:  1 << 20,
+		MaxAggressor: 999,
+		MaxVictim:    1998,
+		RowsTouched:  4096,
+		Rows1to4:     4000,
+		Rows5Plus:    96,
+	}
+}
+
+func TestRunResultJSONRoundTrip(t *testing.T) {
+	want := sampleResult()
+	b, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	s := string(b)
+	for _, key := range []string{`"schema_version":1`, `"row-hits"`, `"sim-time-ns"`, `"max-victim"`} {
+		if !strings.Contains(s, key) {
+			t.Errorf("encoding missing %s: %s", key, s)
+		}
+	}
+	var got RunResult
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if d := got.Diff(want); len(d) != 0 {
+		t.Errorf("round trip changed fields: %v", d)
+	}
+	if got.Scheme != want.Scheme || got.Workload != want.Workload || got.TRH != want.TRH {
+		t.Errorf("identity fields: got %s/%s/%d", got.Scheme, got.Workload, got.TRH)
+	}
+}
+
+func TestRunResultJSONRejectsNewerSchema(t *testing.T) {
+	var r RunResult
+	err := json.Unmarshal([]byte(`{"schema_version": 99, "scheme": "x"}`), &r)
+	if err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Fatalf("want schema_version error, got %v", err)
+	}
+}
+
+func TestRunResultDiff(t *testing.T) {
+	a := sampleResult()
+	if d := a.Diff(a); len(d) != 0 {
+		t.Errorf("self-diff not empty: %v", d)
+	}
+	b := a
+	b.Activations += 10
+	b.RLP = 4.25
+	d := a.Diff(b)
+	if d["activations"] != -10 {
+		t.Errorf("activations delta = %v, want -10", d["activations"])
+	}
+	if d["rlp"] != -1 {
+		t.Errorf("rlp delta = %v, want -1", d["rlp"])
+	}
+	if len(d) != 2 {
+		t.Errorf("unexpected extra keys: %v", d)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/evq"
 	"repro/internal/memctrl"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -71,6 +72,11 @@ type Config struct {
 	// default; EngineLegacy keeps the original loop for equivalence
 	// testing). Both produce identical simulations.
 	Engine EngineKind
+
+	// Obs, when non-nil, receives per-bank metrics from every controller
+	// and epoch samples from the event loop. Collection never alters the
+	// simulated schedule: metrics-on and metrics-off runs are bit-identical.
+	Obs *obs.Run
 }
 
 // DefaultConfig returns the Table-2 machine.
@@ -230,6 +236,9 @@ func New(cfg Config, traces []cpu.Trace) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.Obs != nil {
+			ctrl.Obs = cfg.Obs.Sub(sub)
+		}
 		s.ctrls = append(s.ctrls, ctrl)
 		s.wakes = append(s.wakes, sim.Forever)
 	}
@@ -242,6 +251,28 @@ func New(cfg Config, traces []cpu.Trace) (*System, error) {
 		s.cores = append(s.cores, core)
 	}
 	s.coreDone = make([]bool, len(s.cores))
+	if cfg.Obs != nil {
+		cfg.Obs.Bind(obs.Sources{
+			Retired: func() int64 {
+				var n int64
+				for _, c := range s.cores {
+					n += c.Retired
+				}
+				return n
+			},
+			Device: func() obs.DeviceTotals {
+				var d obs.DeviceTotals
+				for _, ctrl := range s.ctrls {
+					dev := ctrl.Device()
+					d.Reads += dev.Reads
+					d.Writes += dev.Writes
+					d.Mitigations += dev.MitigationCount
+					d.BusBusy += dev.BusBusy
+				}
+				return d
+			},
+		})
+	}
 	if cfg.Engine == EngineWheel {
 		s.wheel = evq.NewWheel(0)
 		s.wakeEvAt = make([]Tick, len(s.ctrls))
@@ -543,6 +574,29 @@ func (s *System) LLC() *cache.Cache { return s.llc }
 
 // Now reports the current simulation time.
 func (s *System) Now() Tick { return s.now }
+
+// FinishObs seals the attached metrics run, if any: it installs the
+// device-side per-bank counters and any mitigator gauges, then takes the
+// tail epoch sample and drives the configured exporters. Call it once,
+// after Run returns successfully.
+func (s *System) FinishObs() error {
+	o := s.cfg.Obs
+	if o == nil {
+		return nil
+	}
+	for i, ctrl := range s.ctrls {
+		dev := ctrl.Device()
+		o.SetDeviceBankStats(i, dev.BankActivations(), dev.BankMitigations())
+		if g, ok := ctrl.Mitigator().(obs.Gauger); ok {
+			o.SetGauges(i, g.ObsGauges())
+		}
+	}
+	end := s.FinishTime()
+	if s.now > end {
+		end = s.now
+	}
+	return o.Finish(end)
+}
 
 // FinishTime reports the latest core finish time.
 func (s *System) FinishTime() Tick {

@@ -123,6 +123,20 @@ func (g *Graphene) StorageBits() int64 {
 	return perBank * int64(len(g.banks))
 }
 
+// ObsGauges implements obs.Gauger (structurally — no obs import needed):
+// end-of-run tracker internals for observability reports.
+func (g *Graphene) ObsGauges() map[string]float64 {
+	var resident int
+	for i := range g.banks {
+		resident += len(g.banks[i].heap)
+	}
+	return map[string]float64{
+		"selections":       float64(g.Selections),
+		"entries-per-bank": float64(g.entries),
+		"resident-rows":    float64(resident),
+	}
+}
+
 // Count reports the current estimated count for (bank,row) — test hook.
 func (g *Graphene) Count(bank int, row uint32) uint32 { return g.banks[bank].count(row) }
 

@@ -108,3 +108,12 @@ func (t *MOAT) OnRefresh(now Tick, refIndex uint64) []memctrl.Op {
 // StorageBits implements memctrl.Mitigator: PRAC counters live inside the
 // DRAM array, not in controller SRAM.
 func (t *MOAT) StorageBits() int64 { return 0 }
+
+// ObsGauges implements obs.Gauger (structurally — no obs import needed).
+func (t *MOAT) ObsGauges() map[string]float64 {
+	return map[string]float64{
+		"abos":         float64(t.ABOs),
+		"eth":          float64(t.eth),
+		"tracked-rows": float64(t.counts.Len()),
+	}
+}

@@ -1,0 +1,168 @@
+package dream
+
+// Equivalence tests for the observability layer: metrics collection must
+// never perturb the simulation (bit-identical RunResult on vs off), and its
+// per-bank stall attribution must reproduce the controller's own stall
+// counters exactly.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/exp"
+	"repro/internal/memctrl"
+	"repro/internal/obs"
+	"repro/internal/runcache"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/tracker"
+	"repro/internal/workload"
+)
+
+func metricsTestCfg() exp.RunConfig {
+	return exp.RunConfig{
+		Workload:        "mcf",
+		Cores:           2,
+		AccessesPerCore: 20_000,
+		TRH:             500,
+		Seed:            0x0b5,
+		Scheme:          exp.DreamRMINT(true, false),
+	}
+}
+
+func TestMetricsBitIdentity(t *testing.T) {
+	off, err := exp.Run(metricsTestCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *obs.Report
+	on := metricsTestCfg()
+	on.Metrics = &obs.Options{OnReport: func(r *obs.Report) { rep = r }}
+	got, err := exp.Run(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.Diff(off); len(d) != 0 {
+		t.Errorf("metrics-on result differs from metrics-off: %v", d)
+	}
+	if rep == nil {
+		t.Fatal("no report captured")
+	}
+	if len(rep.Epochs) == 0 {
+		t.Error("no epoch samples on a multi-ms run")
+	}
+	// The recorder's view must agree with the result's scalar counters.
+	var acts uint64
+	for _, s := range rep.Subs {
+		for _, a := range s.Acts {
+			acts += a
+		}
+	}
+	if acts != got.Activations {
+		t.Errorf("per-bank acts sum %d != result activations %d", acts, got.Activations)
+	}
+}
+
+// TestStallAttributionSums runs one mitigated system directly and checks the
+// invariants the package documents: the mitigation causes partition the
+// controller's MitStallBank counter to the tick, and CauseREF accounts for
+// exactly tRFC on every bank per REF.
+func TestStallAttributionSums(t *testing.T) {
+	gens, err := workload.Rate("mcf", 4, 20_000, 0x57a11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]runcache.Source, len(gens))
+	for i, g := range gens {
+		srcs[i] = g
+	}
+	ts := runcache.RecordAll(srcs)
+	tr := make([]cpu.Trace, len(ts))
+	for i := range ts {
+		tr[i] = runcache.NewReplayer(ts[i])
+	}
+
+	cfg := system.DefaultConfig()
+	cfg.NewMitigator = func(sub int) memctrl.Mitigator {
+		m, err := tracker.NewPARA(0.05, tracker.ModeDRFMsb, sim.NewRNG(uint64(sub+7)))
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+	var rep *obs.Report
+	cfg.Obs = obs.NewRun(
+		obs.Options{OnReport: func(r *obs.Report) { rep = r }},
+		obs.Meta{Scheme: "para-drfmsb", Workload: "mcf",
+			Subs: cfg.Geometry.SubChannels, Banks: cfg.Geometry.Banks})
+	sys, err := system.New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.FinishObs(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sawMit bool
+	for i, ctrl := range sys.Controllers() {
+		sub := rep.Subs[i]
+		mit := sub.StallSum(obs.MitigationCauses...)
+		if mit != uint64(ctrl.MitStallBank) {
+			t.Errorf("sub %d: mitigation stall sum %d != controller MitStallBank %d",
+				i, mit, ctrl.MitStallBank)
+		}
+		if mit > 0 {
+			sawMit = true
+		}
+		banks := ctrl.Device().NumBanks()
+		if ref := sub.StallSum(obs.CauseREF); ref != uint64(ctrl.RefreshStall)*uint64(banks) {
+			t.Errorf("sub %d: REF stall sum %d != RefreshStall %d x %d banks",
+				i, ref, ctrl.RefreshStall, banks)
+		}
+	}
+	if !sawMit {
+		t.Error("PARA at p=0.05 issued no mitigation stall; test exercised nothing")
+	}
+}
+
+func TestMetricsFileExports(t *testing.T) {
+	dir := t.TempDir()
+	cfg := metricsTestCfg()
+	cfg.Metrics = &obs.Options{Dir: dir, Formats: []string{"jsonl", "csv", "prom"}}
+	if _, err := exp.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	jsonl, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil || len(jsonl) != 1 {
+		t.Fatalf("jsonl files = %v (%v)", jsonl, err)
+	}
+	data, err := os.ReadFile(jsonl[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("jsonl run+epoch lines missing: %d lines", len(lines))
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		if m["schema_version"] != float64(obs.ReportSchemaVersion) {
+			t.Errorf("line %d schema_version = %v", i+1, m["schema_version"])
+		}
+	}
+	for _, ext := range []string{"*.csv", "*.prom"} {
+		if m, _ := filepath.Glob(filepath.Join(dir, ext)); len(m) != 1 {
+			t.Errorf("%s files = %v", ext, m)
+		}
+	}
+}

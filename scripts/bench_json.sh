@@ -35,7 +35,7 @@ echo "$out" | awk -v gover="$(go version | awk '{print $3}')" '
 	}
 }
 END {
-	printf "{\n  \"go\": \"%s\",\n  \"benchtime\": \"1x (cold, cache reset per benchmark)\",\n", gover
+	printf "{\n  \"schema_version\": 1,\n  \"go\": \"%s\",\n  \"benchtime\": \"1x (cold, cache reset per benchmark)\",\n", gover
 	printf "  \"results\": {\n"
 	for (i = 1; i <= n; i++) {
 		b = order[i]

@@ -1,0 +1,26 @@
+#!/bin/sh
+# check_metrics.sh — run a small exporting experiment and lint everything the
+# observability exporters wrote (JSONL schema_version per line, CSV header and
+# rectangular numeric rows, Prometheus text format). Pure Go: no jq/python.
+#
+# Usage: scripts/check_metrics.sh [dir]
+#   dir  metrics output directory (default: a temp dir, removed on success)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dir=${1:-}
+cleanup=""
+if [ -z "$dir" ]; then
+	dir=$(mktemp -d)
+	cleanup="$dir"
+fi
+
+go run ./cmd/experiments -run fig5 -quick -journal off \
+	-metrics jsonl,csv,prom -metrics-dir "$dir" >/dev/null
+
+go run ./scripts/checkmetrics "$dir"
+
+if [ -n "$cleanup" ]; then
+	rm -rf "$cleanup"
+fi

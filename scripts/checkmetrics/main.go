@@ -1,0 +1,171 @@
+// Command checkmetrics lints the files the observability exporters emit
+// (results/metrics/*.jsonl, *.csv, *.prom): every JSONL line must be valid
+// JSON carrying the supported schema_version and a known kind, CSV files
+// must match the epoch-series header with rectangular numeric rows, and
+// Prometheus text files must parse as `name{labels} value` with the
+// dream_ namespace. CI runs it after a small exporting experiment; it needs
+// no jq/python, only the Go toolchain the repo already requires.
+//
+// Usage: checkmetrics <dir>...
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkmetrics <dir>...")
+		os.Exit(2)
+	}
+	bad := 0
+	checked := 0
+	for _, dir := range os.Args[1:] {
+		for _, pat := range []string{"*.jsonl", "*.csv", "*.prom"} {
+			files, err := filepath.Glob(filepath.Join(dir, pat))
+			if err != nil {
+				fail(&bad, "%s: %v", dir, err)
+				continue
+			}
+			for _, f := range files {
+				if err := checkFile(f); err != nil {
+					fail(&bad, "%v", err)
+				} else {
+					checked++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		fail(&bad, "no metrics files found under %s", strings.Join(os.Args[1:], ", "))
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "checkmetrics: %d problem(s)\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("checkmetrics: %d file(s) ok\n", checked)
+}
+
+func fail(bad *int, format string, args ...any) {
+	*bad++
+	fmt.Fprintf(os.Stderr, "checkmetrics: "+format+"\n", args...)
+}
+
+func checkFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	switch filepath.Ext(path) {
+	case ".jsonl":
+		runLines := 0
+		if err := scanAll(sc, path, func(_ int, text string) error {
+			return checkJSONL(text, &runLines)
+		}); err != nil {
+			return err
+		}
+		if runLines != 1 {
+			return fmt.Errorf("%s: %d \"kind\":\"run\" lines, want exactly 1", path, runLines)
+		}
+		return nil
+	case ".csv":
+		return scanAll(sc, path, checkCSVLine())
+	case ".prom":
+		return scanAll(sc, path, checkPromLine)
+	default:
+		return fmt.Errorf("%s: unknown extension", path)
+	}
+}
+
+func scanAll(sc *bufio.Scanner, path string, check func(int, string) error) error {
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if err := check(line, text); err != nil {
+			return fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if line == 0 {
+		return fmt.Errorf("%s: empty", path)
+	}
+	return nil
+}
+
+func checkJSONL(text string, runLines *int) error {
+	var m struct {
+		Kind          string `json:"kind"`
+		SchemaVersion int    `json:"schema_version"`
+	}
+	if err := json.Unmarshal([]byte(text), &m); err != nil {
+		return err
+	}
+	switch m.Kind {
+	case "run":
+		*runLines++
+	case "epoch":
+	default:
+		return fmt.Errorf("unknown kind %q", m.Kind)
+	}
+	if m.SchemaVersion < 1 || m.SchemaVersion > obs.ReportSchemaVersion {
+		return fmt.Errorf("schema_version %d unsupported (max %d)",
+			m.SchemaVersion, obs.ReportSchemaVersion)
+	}
+	return nil
+}
+
+func checkCSVLine() func(int, string) error {
+	cols := len(strings.Split(obs.CSVHeader, ","))
+	return func(line int, text string) error {
+		if line == 1 {
+			if text != obs.CSVHeader {
+				return fmt.Errorf("header %q, want %q", text, obs.CSVHeader)
+			}
+			return nil
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != cols {
+			return fmt.Errorf("%d columns, header has %d", len(fields), cols)
+		}
+		for _, v := range fields {
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				return fmt.Errorf("non-numeric field %q", v)
+			}
+		}
+		return nil
+	}
+}
+
+var promSample = regexp.MustCompile(`^dream_[a-z0-9_]+(\{[^{}]*\})? (NaN|[-+0-9.eE]+|\+Inf)$`)
+
+func checkPromLine(_ int, text string) error {
+	if strings.HasPrefix(text, "#") {
+		fields := strings.Fields(text)
+		if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+			return fmt.Errorf("malformed comment %q", text)
+		}
+		return nil
+	}
+	if !promSample.MatchString(text) {
+		return fmt.Errorf("malformed sample %q", text)
+	}
+	return nil
+}

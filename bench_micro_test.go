@@ -9,6 +9,7 @@ package dream
 // tracked numbers live in BENCH_<n>.json.
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/cache"
@@ -103,6 +104,13 @@ func BenchmarkAuditorObserve(b *testing.B) {
 // never memoized — each iteration re-simulates).
 func benchMitigated(b *testing.B, cfg exp.RunConfig) {
 	b.Helper()
+	// BENCH_PARALLEL_SUBCHANNELS=1 (recorded by scripts/bench_json.sh) turns
+	// on the parallel controller pass for the measured runs; bit-identical,
+	// wall-clock only, helps only when GOMAXPROCS > 1.
+	if os.Getenv("BENCH_PARALLEL_SUBCHANNELS") == "1" {
+		prev := exp.SetParallelSubChannels(true)
+		b.Cleanup(func() { exp.SetParallelSubChannels(prev) })
+	}
 	exp.ResetCache()
 	warm := cfg
 	warm.Scheme = exp.Baseline
@@ -136,6 +144,10 @@ func benchSystemRun(b *testing.B, engine system.EngineKind) {
 
 	cfg := system.DefaultConfig()
 	cfg.Engine = engine
+	// BENCH_PARALLEL_SUBCHANNELS=1 (recorded by scripts/bench_json.sh) turns
+	// on the parallel controller pass; it changes wall-clock only, and only
+	// helps when GOMAXPROCS > 1.
+	cfg.ParallelSubChannels = os.Getenv("BENCH_PARALLEL_SUBCHANNELS") == "1"
 	cfg.NewMitigator = func(sub int) memctrl.Mitigator {
 		m, err := tracker.NewPARA(0.01, tracker.ModeDRFMsb, sim.NewRNG(uint64(sub+99)))
 		if err != nil {
@@ -143,6 +155,7 @@ func benchSystemRun(b *testing.B, engine system.EngineKind) {
 		}
 		return m
 	}
+	var iters, events uint64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -157,7 +170,12 @@ func benchSystemRun(b *testing.B, engine system.EngineKind) {
 		if err := sys.Run(); err != nil {
 			b.Fatal(err)
 		}
+		iters, events = sys.LoopStats()
 	}
+	// Loop-shape metrics: both engines must drain the same event count, and
+	// iters/op is the tick-visit budget the wheel and fast-forward defend.
+	b.ReportMetric(float64(iters), "iters/op")
+	b.ReportMetric(float64(events), "events/op")
 }
 
 // BenchmarkSystemRun compares the timing-wheel engine against the retained

@@ -26,6 +26,10 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		compare  = flag.Bool("compare", false, "also run the unprotected baseline and report slowdown")
 		list     = flag.Bool("list", false, "list workloads and schemes, then exit")
+		engine   = flag.String("engine", "wheel",
+			`event-loop engine: "wheel" (default) or "legacy" (bit-identical reference)`)
+		parallelSub = flag.Bool("parallel-subchannels", false,
+			"run same-tick sub-channel controllers on parallel goroutines (bit-identical; helps only with GOMAXPROCS > 1)")
 
 		metrics = flag.String("metrics", "",
 			`observability export formats, comma-separated ("jsonl", "csv", "prom"); empty = off`)
@@ -35,6 +39,12 @@ func main() {
 			"epoch sampler period in REF intervals (0 = default 16)")
 	)
 	flag.Parse()
+
+	if err := dream.SetEngine(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, "dreamsim:", err)
+		os.Exit(2)
+	}
+	dream.SetParallelSubChannels(*parallelSub)
 
 	if *list {
 		fmt.Println("workloads:", strings.Join(dream.Workloads(), " "))

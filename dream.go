@@ -156,6 +156,30 @@ type (
 	MetricsEvent = obs.Event
 )
 
+// SetEngine selects the simulator's event-loop implementation for every
+// subsequent run in this process: "wheel" (the default timing-wheel loop) or
+// "legacy" (the retained scan-everything loop). The engines are bit-identical
+// by construction — the switch exists for equivalence checks and A/B
+// benchmarks, and legacy runs bypass the baseline run cache so comparisons
+// always time real simulations.
+func SetEngine(name string) error {
+	switch name {
+	case "", "wheel":
+		exp.SetLegacyEngine(false)
+	case "legacy":
+		exp.SetLegacyEngine(true)
+	default:
+		return fmt.Errorf("dream: unknown engine %q (want wheel or legacy)", name)
+	}
+	return nil
+}
+
+// SetParallelSubChannels toggles parallel sub-channel controller execution
+// for every subsequent run in this process. The parallel pass is
+// bit-identical to the serial one; it changes only wall-clock, and only
+// helps when GOMAXPROCS > 1.
+func SetParallelSubChannels(on bool) { exp.SetParallelSubChannels(on) }
+
 // withDefaults fills every unset sizing field with its documented default.
 func (c Config) withDefaults() Config {
 	if c.TRH == 0 {

@@ -130,19 +130,20 @@ func (c *Core) Step() {
 
 // Complete delivers a miss completion for token at time done.
 func (c *Core) Complete(token uint64, done sim.Tick) {
-	found := false
-	for i := 0; i < c.count; i++ {
-		s := &c.ring[(c.head+i)%len(c.ring)]
-		if s.id == token && !s.completeKnown {
-			s.complete = done
-			s.completeKnown = true
-			found = true
-			break
+	// Segment ids are assigned sequentially and the ring is FIFO, so the
+	// resident segments hold consecutive ids and the token's slot sits at a
+	// fixed offset from the head — no ring scan.
+	var s *segment
+	if c.count > 0 {
+		if off := token - c.ring[c.head].id; off < uint64(c.count) {
+			s = &c.ring[(c.head+int(off))%len(c.ring)]
 		}
 	}
-	if !found {
+	if s == nil || s.id != token || s.completeKnown {
 		panic(fmt.Sprintf("cpu: completion for unknown token %d", token))
 	}
+	s.complete = done
+	s.completeKnown = true
 	c.outstanding--
 	if c.mshrBlocked {
 		c.mshrBlocked = false

@@ -88,9 +88,23 @@ type Wheel struct {
 	over evHeap // events with At >= base+span
 }
 
+// slotCap0 is the initial per-slot heap capacity. Slots are given
+// non-overlapping windows of one contiguous backing array, so a whole
+// wheel's steady-state storage is two allocations; only a slot that
+// outgrows its window reallocates individually. 48 covers the completion
+// bursts a full-system run concentrates into a slot when a channel-wide
+// mitigation stall releases many banks at once (a slot spans 1024 ticks
+// and the shared data bus bounds how many bursts fit in one span).
+const slotCap0 = 48
+
 // NewWheel returns a wheel whose window starts at tick start.
 func NewWheel(start int64) *Wheel {
-	return &Wheel{base: start &^ ((1 << slotBits) - 1), floor: start}
+	w := &Wheel{base: start &^ ((1 << slotBits) - 1), floor: start}
+	backing := make([]Event, numSlots*slotCap0)
+	for i := range w.slots {
+		w.slots[i] = backing[i*slotCap0 : i*slotCap0 : (i+1)*slotCap0]
+	}
+	return w
 }
 
 // Len reports the number of queued events.
@@ -197,6 +211,32 @@ func (w *Wheel) PopNext(buf []Event) (batch []Event, at int64, ok bool) {
 	at = w.slots[slot][0].At // slot heaps: s[0] is the minimum
 	if at < w.floor {
 		at = w.floor // clamped past-events fire at the floor tick
+	}
+	return w.extract(slot, at, buf), at, true
+}
+
+// PopNextBefore is PopNext bounded by limit: when the earliest queued event
+// fires at or before limit, it pops that tick's whole batch exactly like
+// PopNext; otherwise it extracts nothing and reports ok=false, leaving the
+// queue untouched. It lets a caller that already knows an earlier deadline
+// (the engine's controller-wake scan) test and pop in one slot search.
+func (w *Wheel) PopNextBefore(limit int64, buf []Event) (batch []Event, at int64, ok bool) {
+	var slot int
+	for {
+		if slot = w.firstSlot(); slot >= 0 {
+			break
+		}
+		if len(w.over) == 0 || w.over[0].At > limit {
+			return buf, 0, false
+		}
+		w.rebase(w.over[0].At)
+	}
+	at = w.slots[slot][0].At // slot heaps: s[0] is the minimum
+	if at < w.floor {
+		at = w.floor // clamped past-events fire at the floor tick
+	}
+	if at > limit {
+		return buf, 0, false
 	}
 	return w.extract(slot, at, buf), at, true
 }

@@ -126,14 +126,25 @@ func driveAgainstReference(t *testing.T, seed int64, ops int) {
 		if !wOK {
 			continue
 		}
-		if rng.Intn(2) == 0 {
+		switch rng.Intn(3) {
+		case 0:
 			buf = w.PopBatch(wAt, buf[:0])
-		} else {
+		case 1:
 			var at int64
 			var ok bool
 			buf, at, ok = w.PopNext(buf[:0])
 			if !ok || at != wAt {
 				t.Fatalf("op %d: PopNext = (%d,%v), NextAt said %d", i, at, ok, wAt)
+			}
+		default:
+			if _, _, ok := w.PopNextBefore(wAt-1, buf[:0]); ok {
+				t.Fatalf("op %d: PopNextBefore(%d) popped below the earliest event %d", i, wAt-1, wAt)
+			}
+			var at int64
+			var ok bool
+			buf, at, ok = w.PopNextBefore(wAt, buf[:0])
+			if !ok || at != wAt {
+				t.Fatalf("op %d: PopNextBefore(%d) = (%d,%v)", i, wAt, at, ok)
 			}
 		}
 		for _, e := range buf {
@@ -229,6 +240,164 @@ func TestWheelSameTickOrder(t *testing.T) {
 		if !Less(b[i-1], b[i]) {
 			t.Fatalf("batch out of order at %d: %+v before %+v", i, b[i-1], b[i])
 		}
+	}
+}
+
+// TestWheelRemoveOverflow removes events that still live in the overflow
+// heap (At beyond the window), including interior heap positions, and checks
+// the survivors drain in order with correct counts.
+func TestWheelRemoveOverflow(t *testing.T) {
+	w := NewWheel(0)
+	var evs []Event
+	for i := 0; i < 16; i++ {
+		e := Event{At: span + int64(i)*1000, A: int32(i)}
+		evs = append(evs, e)
+		w.Push(e)
+	}
+	// Remove interior (A=5), root (A=0, the overflow minimum), and tail
+	// (A=15) entries — the three removal positions a heap distinguishes.
+	for _, i := range []int{5, 0, 15} {
+		if !w.Remove(evs[i]) {
+			t.Fatalf("Remove(overflow A=%d) not found", i)
+		}
+	}
+	if w.Remove(evs[5]) {
+		t.Fatal("double Remove of an overflow event reported found")
+	}
+	if w.Len() != 13 {
+		t.Fatalf("Len = %d after removals, want 13", w.Len())
+	}
+	removed := map[int32]bool{5: true, 0: true, 15: true}
+	prev := int64(-1)
+	for i := 0; i < 13; i++ {
+		b, at, ok := w.PopNext(nil)
+		if !ok || len(b) != 1 {
+			t.Fatalf("pop %d: ok=%v batch=%v", i, ok, b)
+		}
+		if at <= prev {
+			t.Fatalf("pop %d: non-monotone %d after %d", i, at, prev)
+		}
+		if removed[b[0].A] {
+			t.Fatalf("pop %d: removed event A=%d resurfaced", i, b[0].A)
+		}
+		prev = at
+	}
+	if _, _, ok := w.PopNext(nil); ok {
+		t.Fatal("wheel should be empty")
+	}
+}
+
+// TestWheelPopAcrossWrap drives pops across several full wheel windows
+// (64 slots x 1024 ticks), with each push landing beyond the window so every
+// pop crosses the wrap boundary via rebase, and the slot index re-used by
+// earlier laps must have been cleanly vacated.
+func TestWheelPopAcrossWrap(t *testing.T) {
+	w := NewWheel(0)
+	now := int64(0)
+	for lap := 0; lap < 5; lap++ {
+		for i := 0; i < 8; i++ {
+			// Straddle the boundary: some events land just inside the current
+			// window, some just outside (overflow), all within one slot span
+			// of the wrap point.
+			w.Push(Event{At: now + span - 512 + int64(i)*128, A: int32(i)})
+		}
+		prev := now - 1
+		for i := 0; i < 8; i++ {
+			b, at, ok := w.PopNext(nil)
+			if !ok {
+				t.Fatalf("lap %d pop %d: empty", lap, i)
+			}
+			if at <= prev {
+				t.Fatalf("lap %d pop %d: non-monotone %d after %d", lap, i, at, prev)
+			}
+			if len(b) != 1 || b[0].A != int32(i) {
+				t.Fatalf("lap %d pop %d: batch %+v", lap, i, b)
+			}
+			prev = at
+		}
+		now = prev
+	}
+	if w.Len() != 0 {
+		t.Fatalf("wheel not empty after laps: %d", w.Len())
+	}
+}
+
+// TestWheelWrapRemoveInterleave interleaves Remove with pops while the
+// window repeatedly wraps: events pushed near the boundary share slot
+// indices with events a full span later, so a stale occupancy bit or count
+// after Remove shows up as a wrong NextAt or a lost event.
+func TestWheelWrapRemoveInterleave(t *testing.T) {
+	w := NewWheel(0)
+	now := int64(0)
+	for lap := 0; lap < 4; lap++ {
+		var evs []Event
+		for i := 0; i < 6; i++ {
+			e := Event{At: now + span - 256 + int64(i)*256, A: int32(i), B: uint64(lap)}
+			evs = append(evs, e)
+			w.Push(e)
+		}
+		// Remove the two that map to the same slots the next lap will reuse.
+		if !w.Remove(evs[1]) || !w.Remove(evs[4]) {
+			t.Fatalf("lap %d: Remove failed", lap)
+		}
+		prev := now - 1
+		for _, want := range []int32{0, 2, 3, 5} {
+			b, at, ok := w.PopNext(nil)
+			if !ok || len(b) != 1 {
+				t.Fatalf("lap %d: pop ok=%v batch=%v", lap, ok, b)
+			}
+			if b[0].A != want {
+				t.Fatalf("lap %d: popped A=%d, want %d", lap, b[0].A, want)
+			}
+			if at <= prev {
+				t.Fatalf("lap %d: non-monotone %d after %d", lap, at, prev)
+			}
+			prev = at
+		}
+		now = prev
+	}
+	if w.Len() != 0 {
+		t.Fatalf("wheel not empty: %d", w.Len())
+	}
+}
+
+// TestWheelPopNextBefore pins the bounded pop: a limit below the earliest
+// event must leave the queue untouched (including when the earliest event
+// sits in the overflow heap — no premature rebase past the limit), and a
+// limit at or above it must behave exactly like PopNext.
+func TestWheelPopNextBefore(t *testing.T) {
+	w := NewWheel(0)
+	w.Push(Event{At: 500, A: 1})
+	w.Push(Event{At: 500, A: 2})
+	w.Push(Event{At: 700, A: 3})
+	if _, _, ok := w.PopNextBefore(499, nil); ok {
+		t.Fatal("limit below earliest event must not pop")
+	}
+	if w.Len() != 3 {
+		t.Fatalf("failed bounded pop mutated the queue: Len=%d", w.Len())
+	}
+	b, at, ok := w.PopNextBefore(500, nil)
+	if !ok || at != 500 || len(b) != 2 || b[0].A != 1 || b[1].A != 2 {
+		t.Fatalf("PopNextBefore(500) = %v,%d,%v", b, at, ok)
+	}
+	b, at, ok = w.PopNextBefore(1<<40, nil)
+	if !ok || at != 700 || len(b) != 1 || b[0].A != 3 {
+		t.Fatalf("PopNextBefore(inf) = %v,%d,%v", b, at, ok)
+	}
+
+	// Overflow-only queue: a limit below the overflow minimum must refuse
+	// without rebasing, then a permissive limit drains it.
+	w2 := NewWheel(0)
+	w2.Push(Event{At: 3 * span, A: 9})
+	if _, _, ok := w2.PopNextBefore(span, nil); ok {
+		t.Fatal("overflow event beyond limit must not pop")
+	}
+	if base := w2.base; base != 0 {
+		t.Fatalf("refused bounded pop rebased the window to %d", base)
+	}
+	b, at, ok = w2.PopNextBefore(3*span, nil)
+	if !ok || at != 3*span || len(b) != 1 || b[0].A != 9 {
+		t.Fatalf("PopNextBefore(3*span) = %v,%d,%v", b, at, ok)
 	}
 }
 

@@ -156,6 +156,30 @@ func SetDefaultMetrics(o *obs.Options) (prev *obs.Options) {
 	return defaultMetrics.Swap(o)
 }
 
+// defaultLegacyEngine routes every subsequent simulation through the legacy
+// scan-everything event loop (the CLIs' -engine=legacy). It rides the same
+// legacyEngine path the equivalence tests use, so legacy-engine runs bypass
+// the run cache and an engine A/B always times a real simulation instead of
+// replaying a memoized result.
+var defaultLegacyEngine atomic.Bool
+
+// SetLegacyEngine selects the legacy event loop (true) or the default
+// timing-wheel loop (false) for every subsequent Run, returning the previous
+// setting. Both engines are bit-identical (TestEngineEquivalence*); the
+// switch exists for equivalence checks and engine A/B benchmarks.
+func SetLegacyEngine(on bool) (was bool) { return defaultLegacyEngine.Swap(on) }
+
+// defaultParallelSub turns on parallel sub-channel execution
+// (system.Config.ParallelSubChannels) for every subsequent Run.
+var defaultParallelSub atomic.Bool
+
+// SetParallelSubChannels toggles parallel sub-channel controller execution
+// for every subsequent Run and returns the previous setting. The parallel
+// pass is bit-identical to the serial one (TestParallelSubChannelEquivalence)
+// — it changes only wall-clock, and only helps when GOMAXPROCS > 1 — so it
+// never affects cacheability or results.
+func SetParallelSubChannels(on bool) (was bool) { return defaultParallelSub.Swap(on) }
+
 // traceKey builds the cache identity of cfg's trace set, and whether the
 // config is cacheable at all (explicit Traces are not).
 func (cfg RunConfig) traceKey() (runcache.TraceKey, bool) {
@@ -317,6 +341,9 @@ func Run(cfg RunConfig) (stats.RunResult, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = defaultMetrics.Load()
 	}
+	if defaultLegacyEngine.Load() {
+		cfg.legacyEngine = true
+	}
 	if cfg.Ctx != nil {
 		if err := cfg.Ctx.Err(); err != nil {
 			return stats.RunResult{}, harness.Wrap(cfg.runID(), err)
@@ -385,6 +412,7 @@ func runUncached(cfg RunConfig, attempt int) (res stats.RunResult, err error) {
 	if cfg.legacyEngine {
 		sysCfg.Engine = system.EngineLegacy
 	}
+	sysCfg.ParallelSubChannels = defaultParallelSub.Load()
 	sysCfg.MaxTime = cfg.MaxTime
 
 	resetPeriod := uint64(float64(8192) * cfg.WindowScale)

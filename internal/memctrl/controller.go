@@ -53,6 +53,10 @@ type Config struct {
 	// SchedFlat keeps the original flat-scan reference for equivalence
 	// testing). Both produce identical schedules.
 	Scheduler SchedKind
+	// DisableFastForward turns off the quiescence fast-forward in NextWake
+	// (kept for the fast-forward equivalence tests: runs with it on and off
+	// must be bit-identical, differing only in wake-call counts).
+	DisableFastForward bool
 }
 
 // DefaultConfig returns the baseline controller policy.
@@ -213,12 +217,34 @@ func (c *Controller) wantWrites() bool {
 	return c.draining
 }
 
-// NextWake reports when the controller next has work.
+// NextWake reports a lower bound on the next time the controller can take
+// any action: no command can issue, and no controller state can change,
+// strictly before the returned tick (absent a new arrival, which lowers the
+// system's wake independently).
 func (c *Controller) NextWake(now Tick) Tick {
 	w := c.nextRefresh
 	reads, writes := c.sched.lens()
 	includeWrites := writes > 0 && (c.draining || writes >= c.cfg.WriteHi || reads == 0)
-	if m := c.sched.minStart(includeWrites); m < w {
+	// Quiescence fast-forward: when the next Process call is certain to run
+	// in write-drain mode — and the drain is certain to stay open until a
+	// write is actually serviced — pending reads are ineligible however many
+	// wake/check cycles run, so the earliest possible action is a write
+	// start (or the refresh) and reads drop out of the bound. Certainty
+	// requires the write queue to pin the drain open on its own: either the
+	// drain is already latched with writes above the exit watermark, or the
+	// queue is at/above the entry watermark. Arrivals only grow queues, so
+	// no interleaved wake can observe a different wantWrites decision; the
+	// ticks skipped here are exactly the no-op wake/check cycles the legacy
+	// bound stepped through one by one.
+	mode := minReads
+	if includeWrites {
+		mode = minReadsWrites
+		if !c.cfg.DisableFastForward &&
+			((c.draining && writes > c.cfg.WriteLo) || writes >= c.cfg.WriteHi) {
+			mode = minWrites
+		}
+	}
+	if m := c.sched.minStart(mode); m < w {
 		w = m
 	}
 	if w <= now {

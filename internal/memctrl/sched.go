@@ -20,6 +20,21 @@ const (
 	SchedFlat
 )
 
+// minQuery selects which directions a minStart query folds over.
+type minQuery int
+
+const (
+	// minReads bounds the next read start (writes ineligible).
+	minReads minQuery = iota
+	// minReadsWrites bounds the next start over both directions.
+	minReadsWrites
+	// minWrites bounds the next write start alone — the quiescence
+	// fast-forward query: while a write drain is pinned open, reads cannot
+	// start no matter how often the controller wakes, so they are excluded
+	// from the wake bound.
+	minWrites
+)
+
 // scheduler is the controller's pending-request store. Both implementations
 // realise the same FR-FCFS policy: among requests startable at now, row
 // hits beat misses, earlier start times beat later ones, and remaining
@@ -31,9 +46,9 @@ type scheduler interface {
 	// read queue (or the write queue when fromWrite is set), along with its
 	// service-start time.
 	pick(now Tick, fromWrite bool) (Request, Tick, bool)
-	// minStart reports the earliest service-start time over all queued
-	// reads — plus writes when includeWrites is set — or sim.Forever.
-	minStart(includeWrites bool) Tick
+	// minStart reports the earliest service-start time over the queued
+	// directions selected by q, or sim.Forever.
+	minStart(q minQuery) Tick
 	// dirtyBank invalidates cached timing state for bank b after the
 	// controller issued a command that moved the bank's horizons.
 	dirtyBank(b int)
@@ -95,7 +110,7 @@ func (s *flatSched) pick(now Tick, fromWrite bool) (Request, Tick, bool) {
 	return r, bestStart, true
 }
 
-func (s *flatSched) minStart(includeWrites bool) Tick {
+func (s *flatSched) minStart(mode minQuery) Tick {
 	w := sim.Forever
 	scan := func(q []Request) {
 		for i := range q {
@@ -104,8 +119,10 @@ func (s *flatSched) minStart(includeWrites bool) Tick {
 			}
 		}
 	}
-	scan(s.readQ)
-	if includeWrites {
+	if mode != minWrites {
+		scan(s.readQ)
+	}
+	if mode != minReads {
 		scan(s.writeQ)
 	}
 	return w
@@ -294,6 +311,22 @@ func (s *bankedSched) pick(now Tick, fromWrite bool) (Request, Tick, bool) {
 		return Request{}, 0, false
 	}
 	g := s.busReady()
+	// When the direction aggregate is fresh it bounds the exact earliest
+	// start (min over banks of min(miss, max(hitLocal, busReady)) folds to
+	// min(aggMiss, max(aggHit, busReady)) since busReady is bank-invariant),
+	// so a bound beyond now means no request is startable and the whole
+	// active-bank walk can be skipped with an identical result.
+	if q.aggOK {
+		bound := q.aggMiss
+		if q.aggHit != sim.Forever {
+			if hs := sim.MaxTick(q.aggHit, g); hs < bound {
+				bound = hs
+			}
+		}
+		if bound > now {
+			return Request{}, 0, false
+		}
+	}
 	// The candidate scan below walks every active bank anyway, so instead of
 	// a separate refreshAgg traversal the stale direction aggregate is
 	// refolded inline as the scan goes.
@@ -397,7 +430,7 @@ func (q *bankedQueue) deactivate(b int) {
 	q.pos[b] = -1
 }
 
-func (s *bankedSched) minStart(includeWrites bool) Tick {
+func (s *bankedSched) minStart(mode minQuery) Tick {
 	w := sim.Forever
 	g := s.busReady()
 	scan := func(q *bankedQueue) {
@@ -414,8 +447,10 @@ func (s *bankedSched) minStart(includeWrites bool) Tick {
 			}
 		}
 	}
-	scan(&s.reads)
-	if includeWrites {
+	if mode != minWrites {
+		scan(&s.reads)
+	}
+	if mode != minReads {
 		scan(&s.writes)
 	}
 	return w

@@ -92,6 +92,13 @@ func equalFP(a, b engineFingerprint) bool {
 // fingerprint plus loop statistics.
 func runEngine(t *testing.T, engine EngineKind, mitigated bool, wl string, seed uint64) (engineFingerprint, uint64, uint64) {
 	t.Helper()
+	return runEngineCfg(t, engine, mitigated, wl, seed, nil)
+}
+
+// runEngineCfg is runEngine with a config hook applied before New, for the
+// fast-forward and parallel-sub-channel equivalence variants.
+func runEngineCfg(t *testing.T, engine EngineKind, mitigated bool, wl string, seed uint64, mutate func(*Config)) (engineFingerprint, uint64, uint64) {
+	t.Helper()
 	cfg := DefaultConfig()
 	cfg.Engine = engine
 	if mitigated {
@@ -102,6 +109,9 @@ func runEngine(t *testing.T, engine EngineKind, mitigated bool, wl string, seed 
 			}
 			return m
 		}
+	}
+	if mutate != nil {
+		mutate(&cfg)
 	}
 	sys := run(t, cfg, traces(t, wl, 4, 6000, seed))
 	iters, events := sys.LoopStats()
@@ -164,4 +174,71 @@ func TestEngineIterationRegression(t *testing.T) {
 	}
 	t.Logf("iters: legacy %d, wheel %d (%.1f%%); events %d",
 		liters, witers, 100*float64(witers)/float64(liters), levents)
+}
+
+// TestFastForwardEquivalence proves the quiescence fast-forward is
+// schedule-neutral: with the write-drain certainty condition excluding reads
+// from the wake bound, the clock jumps further between iterations, but every
+// REF boundary, drain decision, and command issue lands on the identical
+// tick. DisableFastForward keeps the conservative bound; both runs must
+// produce bit-identical simulations, differing at most in wake-call counts.
+func TestFastForwardEquivalence(t *testing.T) {
+	ff := func(on bool) func(*Config) {
+		return func(cfg *Config) { cfg.CtrlCfg.DisableFastForward = !on }
+	}
+	for _, engine := range []EngineKind{EngineLegacy, EngineWheel} {
+		for _, wl := range []string{"copy", "omnetpp"} {
+			off, offIters, _ := runEngineCfg(t, engine, true, wl, 123, ff(false))
+			on, onIters, _ := runEngineCfg(t, engine, true, wl, 123, ff(true))
+			if !equalFP(off, on) {
+				t.Errorf("engine %v %s: fast-forward changed the simulation:\noff %+v\non  %+v",
+					engine, wl, off, on)
+			}
+			if onIters > offIters {
+				t.Errorf("engine %v %s: fast-forward raised iterations %d -> %d",
+					engine, wl, offIters, onIters)
+			}
+		}
+	}
+}
+
+// TestParallelSubChannelEquivalence proves the parallel controller pass is
+// bit-identical to the serial one on both engines: same-tick controllers run
+// on goroutines between barriers, completions merge through the queue's total
+// (At, Kind, A, B) order, so goroutine scheduling cannot leak into the
+// simulation. Run under -race this is also the data-race proof for the
+// fork/join protocol.
+func TestParallelSubChannelEquivalence(t *testing.T) {
+	par := func(on bool) func(*Config) {
+		return func(cfg *Config) { cfg.ParallelSubChannels = on }
+	}
+	for _, engine := range []EngineKind{EngineLegacy, EngineWheel} {
+		for _, wl := range []string{"mcf", "bc"} {
+			serial, _, sevents := runEngineCfg(t, engine, true, wl, 31, par(false))
+			parallel, _, pevents := runEngineCfg(t, engine, true, wl, 31, par(true))
+			if !equalFP(serial, parallel) {
+				t.Errorf("engine %v %s: parallel pass diverged:\nserial   %+v\nparallel %+v",
+					engine, wl, serial, parallel)
+			}
+			if sevents != pevents {
+				t.Errorf("engine %v %s: event counts diverged: serial %d, parallel %d",
+					engine, wl, sevents, pevents)
+			}
+		}
+	}
+}
+
+// TestParallelSubChannelRepeatability runs the parallel path several times on
+// one input: any scheduling-dependent merge would eventually fingerprint
+// differently, so repeated equality (and equality with serial) is the
+// determinism check the barrier-merge design promises.
+func TestParallelSubChannelRepeatability(t *testing.T) {
+	ref, _, _ := runEngineCfg(t, EngineWheel, true, "omnetpp", 8, nil)
+	for i := 0; i < 4; i++ {
+		got, _, _ := runEngineCfg(t, EngineWheel, true, "omnetpp", 8,
+			func(cfg *Config) { cfg.ParallelSubChannels = true })
+		if !equalFP(ref, got) {
+			t.Fatalf("run %d: parallel result diverged from serial reference", i)
+		}
+	}
 }

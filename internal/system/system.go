@@ -7,6 +7,7 @@ package system
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/addrmap"
 	"repro/internal/cache"
@@ -25,11 +26,13 @@ type Tick = sim.Tick
 type EngineKind int
 
 const (
-	// EngineWheel is the default: a unified timing-wheel event queue
-	// (completions and controller wakes as typed events) with batched
-	// same-tick delivery, so per-tick bookkeeping runs once per tick
-	// instead of once per event, and finding the next event time is O(1)
-	// bitmap search instead of a scan plus heap peek.
+	// EngineWheel is the default: completions live in a timing-wheel event
+	// queue with batched same-tick delivery and O(1) bitmap search for the
+	// next event time, while controller wakes stay in a flat per-controller
+	// array — at two sub-channels a two-element scan beats any queue's
+	// maintenance cost, and hundreds of in-flight completions are where the
+	// wheel's slot extraction beats a binary heap. Core-finish checks are
+	// targeted at the cores that completed instead of a full rescan.
 	EngineWheel EngineKind = iota
 	// EngineLegacy is the original wake-scan + completion-heap loop,
 	// retained as the equivalence reference: both engines must produce
@@ -72,6 +75,16 @@ type Config struct {
 	// default; EngineLegacy keeps the original loop for equivalence
 	// testing). Both produce identical simulations.
 	Engine EngineKind
+
+	// ParallelSubChannels runs controllers that are due at the same tick on
+	// their own goroutines (DDR5 sub-channels share no bank, queue, or
+	// mitigator state). Completions are buffered per controller and merged
+	// at the barrier, so the simulation stays bit-identical to the serial
+	// path regardless of goroutine scheduling. Requires NewMitigator to
+	// return independent instances (the defaults do). Ignored when Obs is
+	// attached: the epoch sampler reads cross-sub-channel state from the
+	// sub-0 refresh hook mid-tick, which the serial order defines.
+	ParallelSubChannels bool
 
 	// Obs, when non-nil, receives per-bank metrics from every controller
 	// and epoch samples from the event loop. Collection never alters the
@@ -175,31 +188,28 @@ type System struct {
 
 	// Wheel-engine state (nil / unused under EngineLegacy).
 	wheel *evq.Wheel
-	// wakeEvAt[i] is the time of the single wake event queued for
-	// controller i, or sim.Forever when none is queued. armWake keeps it
-	// exactly equal to wakes[i]: lowering a wake removes the old event from
-	// the wheel and pushes the new one, so wake events never fire stale and
-	// the loop visits no wasted ticks.
-	wakeEvAt []Tick
-	batch    []evq.Event
-	// dueNow lists controllers whose wake was lowered to the current tick
-	// while that tick's batch is being delivered (a completion enqueued a
-	// same-tick arrival). runWheel drains it within the same iteration, so
-	// same-tick wakes never round-trip through the wheel.
-	dueNow []int32
+	batch []evq.Event
+
+	// Parallel sub-channel state (unused when parallel is false). compBuf
+	// holds per-controller completion buffers: during a parallel controller
+	// pass each worker appends only to its own buffer, and the barrier
+	// merges them in controller order.
+	parallel  bool
+	compBuf   [][]evq.Event
+	due       []int
+	parWakes  []Tick
+	parErrs   []error
+	parPanics []any
 
 	// Event-loop statistics (LoopStats).
 	iters  uint64
 	events uint64
 }
 
-// Event kinds in the wheel engine. Completions sort before wakes within a
-// tick, matching the legacy loop's deliver-completions-then-run-controllers
-// order; A carries the core (completions) or sub-channel (wakes) index.
-const (
-	evComplete uint8 = iota
-	evWake
-)
+// evComplete is the wheel event kind for demand-load completions; A carries
+// the core index and B the segment token, making the queue's (At, Kind, A, B)
+// order match the legacy completion heap's (at, core, token) order.
+const evComplete uint8 = 0
 
 // New assembles a machine running one trace per core.
 func New(cfg Config, traces []cpu.Trace) (*System, error) {
@@ -232,7 +242,10 @@ func New(cfg Config, traces []cpu.Trace) (*System, error) {
 		if cfg.NewMitigator != nil {
 			mit = cfg.NewMitigator(sub)
 		}
-		ctrl, err := memctrl.New(cfg.CtrlCfg, dev, mit, s.onDone)
+		sub := sub
+		ctrl, err := memctrl.New(cfg.CtrlCfg, dev, mit, func(core int, token uint64, done Tick) {
+			s.onDone(sub, core, token, done)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -275,10 +288,18 @@ func New(cfg Config, traces []cpu.Trace) (*System, error) {
 	}
 	if cfg.Engine == EngineWheel {
 		s.wheel = evq.NewWheel(0)
-		s.wakeEvAt = make([]Tick, len(s.ctrls))
-		for i := range s.wakeEvAt {
-			s.wakeEvAt[i] = sim.Forever
+		s.batch = make([]evq.Event, 0, 64)
+	}
+	if cfg.ParallelSubChannels && cfg.Obs == nil && len(s.ctrls) > 1 {
+		s.parallel = true
+		s.compBuf = make([][]evq.Event, len(s.ctrls))
+		for i := range s.compBuf {
+			s.compBuf[i] = make([]evq.Event, 0, 32)
 		}
+		s.due = make([]int, 0, len(s.ctrls))
+		s.parWakes = make([]Tick, len(s.ctrls))
+		s.parErrs = make([]error, len(s.ctrls))
+		s.parPanics = make([]any, len(s.ctrls))
 	}
 	return s, nil
 }
@@ -327,24 +348,17 @@ func (s *System) enqueue(lineAddr uint64, when Tick, isWrite bool, core int, tok
 	})
 	if arrival < s.wakes[loc.Sub] {
 		s.wakes[loc.Sub] = arrival
-		// Wheel engine: the controller pass is event-driven, so a lowered
-		// wake must be armed immediately — there is no per-tick scan to
-		// notice it. A same-tick arrival (arrival == now, possible because
-		// completions deliver before controllers within a tick) skips the
-		// queue: runWheel drains dueNow inside the current iteration,
-		// mirroring the legacy loop's single-pass order.
-		if s.wheel != nil {
-			if arrival <= s.now {
-				s.dueNow = append(s.dueNow, int32(loc.Sub))
-			} else {
-				s.armWake(loc.Sub)
-			}
-		}
 	}
 }
 
-// onDone receives demand-load completions from controllers.
-func (s *System) onDone(core int, token uint64, done Tick) {
+// onDone receives demand-load completions from controller sub. Under
+// ParallelSubChannels it only appends to the controller's own buffer —
+// safe from the worker goroutine — and the barrier merges the buffers.
+func (s *System) onDone(sub, core int, token uint64, done Tick) {
+	if s.parallel {
+		s.compBuf[sub] = append(s.compBuf[sub], evq.Event{At: int64(done), Kind: evComplete, A: int32(core), B: token})
+		return
+	}
 	if s.wheel != nil {
 		s.wheel.Push(evq.Event{At: int64(done), Kind: evComplete, A: int32(core), B: token})
 		return
@@ -403,41 +417,26 @@ func (s *System) runLegacy() error {
 			s.events++
 			s.cores[c.core].Complete(c.token, c.at)
 		}
-		for i, ctrl := range s.ctrls {
-			if s.wakes[i] <= t {
-				s.events++
-				w, err := ctrl.Process(t)
-				if err != nil {
-					return err
-				}
-				s.wakes[i] = w
-			}
+		// New arrivals may lower a wake below the value Process returns;
+		// enqueue already handled that via s.wakes.
+		if err := s.processControllers(t); err != nil {
+			return err
 		}
-		// New arrivals may have lowered a wake below the value Process
-		// returned; enqueue already handled that via s.wakes.
 		s.refreshDone()
 	}
 	return nil
 }
 
-// runWheel is the timing-wheel event loop. Completions and controller wakes
-// are typed events in one queue; each iteration pops the whole batch for one
-// tick, delivers completions in (core, token) order, then runs exactly the
-// controllers whose wake events fired — there is no per-tick scan over cores
-// or controllers anywhere in the loop. Wakes are armed at their source:
-// enqueue (new request lowers a wake) and the post-Process re-arm.
-//
-// Each controller keeps exactly one wake event queued, always at wakes[i]:
-// lowering a wake (new arrival) removes the superseded event from the wheel
-// and pushes the new time, so firings are never stale and the loop visits
-// only ticks where real work happens.
+// runWheel is the timing-wheel event loop. Completions are typed events in
+// the wheel — each iteration pops the whole batch for one tick in (core,
+// token) order (the legacy heap order) and delivers it with targeted
+// finished checks, since a core can only finish inside its own Complete.
+// Controller wakes stay in the flat wakes array: with two sub-channels the
+// per-iteration scan is two compares, which beats the Remove/Push round
+// trips that keeping wakes as queue events would cost on every lowered
+// wake. Earlier versions queued wakes as events (armWake); profiles showed
+// the re-arm traffic and its allocations cost more than the scan it saved.
 func (s *System) runWheel() error {
-	// Arm wakes lowered by the initial core steps. Requests arriving at
-	// tick 0 (wakes[i] == now == 0) still get an event: the wheel's floor
-	// starts at 0, so the push lands in the first slot and fires first.
-	for i := range s.ctrls {
-		s.armWake(i)
-	}
 	for s.finished < len(s.cores) {
 		s.iters++
 		if s.cfg.OnProgress != nil && s.iters%progressStride == 0 {
@@ -445,15 +444,20 @@ func (s *System) runWheel() error {
 				return err
 			}
 		}
-		batch, t64, ok := s.wheel.PopNext(s.batch[:0])
-		s.batch = batch
-		t := Tick(t64)
-		if !ok {
-			t = sim.Forever
+		t := sim.Forever
+		for _, w := range s.wakes {
+			if w < t {
+				t = w
+			}
 		}
-		// The abort checks run after the pop (PopNext fuses find + extract
-		// into one slot pass); an aborted run discards the System wholesale,
-		// so popped-but-undelivered events are unobservable.
+		// The bounded pop tests and extracts in one slot search; a batch
+		// popped at a tick the MaxTime check then rejects is unobservable,
+		// because an aborted run discards the System wholesale.
+		batch, ct, haveComp := s.wheel.PopNextBefore(int64(t), s.batch[:0])
+		s.batch = batch
+		if haveComp {
+			t = Tick(ct)
+		}
 		if t >= s.cfg.MaxTime {
 			return fmt.Errorf("system: exceeded MaxTime %v at %v (deadlock?)", s.cfg.MaxTime, s.now)
 		}
@@ -461,93 +465,118 @@ func (s *System) runWheel() error {
 			return fmt.Errorf("system: no pending events but %d cores unfinished", len(s.cores)-s.finished)
 		}
 		s.now = t
-		// Completions sort first within the batch (evComplete < evWake, then
-		// core, then token — the legacy heap order), and wake events follow
-		// in sub order — the legacy controller-pass order. A completion that
-		// enqueues a same-tick request records the controller in dueNow;
-		// the drain below runs it within this same iteration. Controllers on
-		// different sub-channels share no state, so running one after the
-		// batch instead of interleaved with it leaves the simulation
-		// bit-identical to the legacy single-pass order.
-		for _, e := range s.batch {
-			if e.Kind == evComplete {
+		if haveComp {
+			for _, e := range s.batch {
 				s.events++
 				core := int(e.A)
 				s.cores[core].Complete(e.B, t)
-				// Targeted finished check: a core can only finish inside its
-				// own Complete (retire + step), so scanning all cores per
-				// tick — the legacy refreshDone — is unnecessary.
 				if !s.coreDone[core] {
 					if done, _ := s.cores[core].Finished(); done {
 						s.coreDone[core] = true
 						s.finished++
 					}
 				}
-				continue
-			}
-			i := int(e.A)
-			// The queued wake event always equals wakes[i] (armWake removes
-			// a superseded event when lowering a wake), so a firing is never
-			// stale: this controller is due exactly now. The guard below is
-			// defensive — it drops an event armWake failed to remove rather
-			// than letting it force an extra Process call.
-			if Tick(e.At) != s.wakeEvAt[i] {
-				continue
-			}
-			s.wakeEvAt[i] = sim.Forever
-			s.events++
-			w, err := s.ctrls[i].Process(t)
-			if err != nil {
-				return err
-			}
-			s.wakes[i] = w
-			s.armWake(i)
-		}
-		// Same-tick wakes recorded during batch delivery. A drained entry is
-		// skipped if its controller already ran this tick via a popped event
-		// (its wake then sits in the future); a Process that returns the
-		// current tick re-appends so the controller runs again before the
-		// loop moves on — the legacy loop gets the same effect from its next
-		// iteration landing on the same tick.
-		for n := 0; n < len(s.dueNow); n++ {
-			i := int(s.dueNow[n])
-			if s.wakes[i] > t {
-				continue
-			}
-			s.events++
-			w, err := s.ctrls[i].Process(t)
-			if err != nil {
-				return err
-			}
-			s.wakes[i] = w
-			if w <= t {
-				s.dueNow = append(s.dueNow, int32(i))
-			} else {
-				s.armWake(i)
 			}
 		}
-		s.dueNow = s.dueNow[:0]
+		if err := s.processControllers(t); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// armWake keeps controller i's single queued wake event equal to wakes[i]:
-// it removes a superseded event and pushes the new time. Wake events are
-// never scheduled into the past (arrivals are clamped to now; Process
-// returns times at or after now), so the queued event's slot is stable and
-// Remove always finds it.
-func (s *System) armWake(i int) {
-	w, ev := s.wakes[i], s.wakeEvAt[i]
-	if w == ev {
-		return
+// processControllers runs every controller due at tick t, serially or — when
+// ParallelSubChannels is active — on one goroutine per due controller.
+func (s *System) processControllers(t Tick) error {
+	if s.parallel {
+		return s.processControllersPar(t)
 	}
-	if ev != sim.Forever {
-		s.wheel.Remove(evq.Event{At: int64(ev), Kind: evWake, A: int32(i)})
+	for i, ctrl := range s.ctrls {
+		if s.wakes[i] <= t {
+			s.events++
+			w, err := ctrl.Process(t)
+			if err != nil {
+				return err
+			}
+			s.wakes[i] = w
+		}
 	}
-	if w != sim.Forever {
-		s.wheel.Push(evq.Event{At: int64(w), Kind: evWake, A: int32(i)})
+	return nil
+}
+
+// processControllersPar is the parallel controller pass. Sub-channels share
+// no simulator state (disjoint devices, schedulers, queues, and mitigator
+// instances), so controllers due at the same tick run concurrently between
+// two barrier points: the fork after completion delivery and the join
+// before the next tick is chosen. Each worker writes only its own slots
+// (wake, error, panic value) and appends completions to its own compBuf
+// buffer; the join merges buffers in controller order into the event queue,
+// whose total (At, Kind, A, B) order fixes delivery order — so the merged
+// simulation is bit-identical to the serial pass no matter how the
+// goroutines interleave. Worker panics are re-raised and errors returned
+// by lowest controller index, keeping even failures deterministic.
+func (s *System) processControllersPar(t Tick) error {
+	due := s.due[:0]
+	for i := range s.ctrls {
+		if s.wakes[i] <= t {
+			due = append(due, i)
+		}
 	}
-	s.wakeEvAt[i] = w
+	s.due = due
+	if len(due) == 0 {
+		return nil
+	}
+	s.events += uint64(len(due))
+	if len(due) == 1 {
+		i := due[0]
+		w, err := s.ctrls[i].Process(t)
+		if err != nil {
+			return err
+		}
+		s.wakes[i] = w
+	} else {
+		var wg sync.WaitGroup
+		run := func(i int) {
+			defer func() { s.parPanics[i] = recover() }()
+			s.parWakes[i], s.parErrs[i] = s.ctrls[i].Process(t)
+		}
+		for _, i := range due[1:] {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+			}(i)
+		}
+		run(due[0])
+		wg.Wait()
+		for _, i := range due {
+			if p := s.parPanics[i]; p != nil {
+				panic(p)
+			}
+		}
+		for _, i := range due {
+			if err := s.parErrs[i]; err != nil {
+				return err
+			}
+			s.wakes[i] = s.parWakes[i]
+		}
+	}
+	// Merge buffered completions in controller order. Push order is
+	// irrelevant to pop order (the queue's comparison is a total order),
+	// but a fixed merge order keeps the queue's internal layout — and any
+	// failure it might surface — deterministic too.
+	for i := range s.compBuf {
+		buf := s.compBuf[i]
+		for _, e := range buf {
+			if s.wheel != nil {
+				s.wheel.Push(e)
+			} else {
+				s.pending.push(completion{at: Tick(e.At), core: int(e.A), token: e.B})
+			}
+		}
+		s.compBuf[i] = buf[:0]
+	}
+	return nil
 }
 
 // LoopStats reports event-loop iterations and drained events (completions

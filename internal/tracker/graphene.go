@@ -222,39 +222,50 @@ func (t *ssTable) count(row uint32) uint32 {
 	return 0
 }
 
+// siftUp and siftDown move entries hole-style: the shifting entry is held
+// aside while displaced entries slide into the hole, so each level costs one
+// position-table update instead of the two a pairwise swap would. The
+// comparisons and the resulting heap layout are exactly those of the classic
+// swap formulation — same permutation, half the CAM updates — which keeps
+// every eviction tie-break, and therefore the simulation, bit-identical.
+
 func (t *ssTable) siftUp(i int) {
+	e := t.heap[i]
 	for i > 0 {
 		parent := (i - 1) / 2
-		if t.heap[parent].count <= t.heap[i].count {
-			return
+		if t.heap[parent].count <= e.count {
+			break
 		}
-		t.swap(i, parent)
+		t.heap[i] = t.heap[parent]
+		t.pos.Set(uint64(t.heap[i].row), uint64(i))
 		i = parent
 	}
+	t.heap[i] = e
+	t.pos.Set(uint64(e.row), uint64(i))
 }
 
 // siftDown restores heap order below i and returns the entry's final index.
 func (t *ssTable) siftDown(i int) int {
 	n := len(t.heap)
+	e := t.heap[i]
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < n && t.heap[l].count < t.heap[small].count {
-			small = l
+		least := e.count
+		if l < n && t.heap[l].count < least {
+			small, least = l, t.heap[l].count
 		}
-		if r < n && t.heap[r].count < t.heap[small].count {
+		if r < n && t.heap[r].count < least {
 			small = r
 		}
 		if small == i {
-			return i
+			break
 		}
-		t.swap(i, small)
+		t.heap[i] = t.heap[small]
+		t.pos.Set(uint64(t.heap[i].row), uint64(i))
 		i = small
 	}
-}
-
-func (t *ssTable) swap(i, j int) {
-	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
-	t.pos.Set(uint64(t.heap[i].row), uint64(i))
-	t.pos.Set(uint64(t.heap[j].row), uint64(j))
+	t.heap[i] = e
+	t.pos.Set(uint64(e.row), uint64(i))
+	return i
 }

@@ -10,10 +10,19 @@
 # free, so only the first (cold) iteration measures real simulation work.
 # BenchmarkMitigatedRun pre-warms the trace cache outside the timer, so its
 # cold iteration isolates the mitigated simulation itself.
+#
+# The header records GOMAXPROCS and the sub-channel parallelism setting
+# (BENCH_PARALLEL_SUBCHANNELS=1 turns system.Config.ParallelSubChannels on in
+# BenchmarkSystemRun), because both change only wall-clock, never results —
+# a number recorded at GOMAXPROCS=1 with parallelism on is measuring barrier
+# overhead, not speedup, and must be read as such.
 set -eu
 
 count=${1:-3}
 cd "$(dirname "$0")/.."
+
+gomaxprocs=${GOMAXPROCS:-$(nproc 2>/dev/null || echo unknown)}
+parsub=${BENCH_PARALLEL_SUBCHANNELS:-0}
 
 out=$(go test -run '^$' -bench 'BenchmarkFig10$|BenchmarkFig19$|BenchmarkMitigatedRun|BenchmarkSystemRun' \
 	-benchtime=1x -benchmem -count="$count" -timeout 7200s . 2>&1) || {
@@ -21,21 +30,26 @@ out=$(go test -run '^$' -bench 'BenchmarkFig10$|BenchmarkFig19$|BenchmarkMitigat
 	exit 1
 }
 
-echo "$out" | awk -v gover="$(go version | awk '{print $3}')" '
+echo "$out" | awk -v gover="$(go version | awk '{print $3}')" \
+	-v gomaxprocs="$gomaxprocs" -v parsub="$parsub" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
 	if (!(name in ns)) order[++n] = name
 	ns[name] = ns[name] nssep[name] $3
 	nssep[name] = ", "
-	# With -benchmem: <name> <iters> <ns> ns/op <B> B/op <allocs> allocs/op
-	if (NF >= 8 && $8 == "allocs/op") {
-		al[name] = al[name] alsep[name] $7
-		alsep[name] = ", "
+	# With -benchmem the line ends in "<B> B/op <allocs> allocs/op", but
+	# b.ReportMetric entries insert extra "<v> <unit>" pairs before them, so
+	# scan for the unit instead of assuming a fixed field position.
+	for (f = 4; f <= NF; f++) {
+		if ($f == "allocs/op") {
+			al[name] = al[name] alsep[name] $(f - 1)
+			alsep[name] = ", "
+		}
 	}
 }
 END {
-	printf "{\n  \"schema_version\": 1,\n  \"go\": \"%s\",\n  \"benchtime\": \"1x (cold, cache reset per benchmark)\",\n", gover
+	printf "{\n  \"schema_version\": 1,\n  \"go\": \"%s\",\n  \"gomaxprocs\": \"%s\",\n  \"parallel_subchannels\": %s,\n  \"benchtime\": \"1x (cold, cache reset per benchmark)\",\n", gover, gomaxprocs, (parsub == "1" ? "true" : "false")
 	printf "  \"results\": {\n"
 	for (i = 1; i <= n; i++) {
 		b = order[i]

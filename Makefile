@@ -43,4 +43,4 @@ profile:
 
 clean:
 	rm -f repro.test *.prof
-	rm -rf results/
+	rm -rf results/ .dreamcache/

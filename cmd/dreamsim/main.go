@@ -30,6 +30,10 @@ func main() {
 			`event-loop engine: "wheel" (default) or "legacy" (bit-identical reference)`)
 		parallelSub = flag.Bool("parallel-subchannels", false,
 			"run same-tick sub-channel controllers on parallel goroutines (bit-identical; helps only with GOMAXPROCS > 1)")
+		cacheDir = flag.String("cache-dir", ".dreamcache",
+			`persistent result cache directory ("" disables; repeat runs are served from disk)`)
+		cacheMax = flag.Int64("cache-max-bytes", 0,
+			"disk cache size cap in bytes before LRU eviction (0 = 4 GiB default)")
 
 		metrics = flag.String("metrics", "",
 			`observability export formats, comma-separated ("jsonl", "csv", "prom"); empty = off`)
@@ -45,6 +49,12 @@ func main() {
 		os.Exit(2)
 	}
 	dream.SetParallelSubChannels(*parallelSub)
+	if *cacheDir != "" {
+		// An unusable cache dir degrades to compute-only, never a failure.
+		if err := dream.SetCacheDir(*cacheDir, *cacheMax); err != nil {
+			fmt.Fprintln(os.Stderr, "dreamsim: disk cache disabled:", err)
+		}
+	}
 
 	if *list {
 		fmt.Println("workloads:", strings.Join(dream.Workloads(), " "))

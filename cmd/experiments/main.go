@@ -12,7 +12,9 @@
 //	                                  # then: go tool pprof cpu.prof
 //
 // Performance flags: -perfstats prints per-figure wall-clock and simulator
-// events/sec at exit (cache-served figures report zero events).
+// events/sec at exit (cache-served figures report zero events). Results
+// persist across runs in -cache-dir (default .dreamcache; "" or -nocache
+// disables), capped at -cache-max-bytes with LRU eviction.
 //
 // Robustness flags: -timeout bounds each simulation's wall-clock time
 // (converting livelocks into per-run failures), -journal controls where
@@ -52,7 +54,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Uint64("seed", 0, "override the experiment seed")
 		wls       = fs.String("workloads", "", "comma-separated workload subset")
 		list      = fs.Bool("list", false, "list experiments and exit")
-		nocache   = fs.Bool("nocache", false, "disable the process-wide trace/baseline run cache")
+		nocache   = fs.Bool("nocache", false, "disable the process-wide trace/baseline run cache (memory and disk)")
+		cacheDir  = fs.String("cache-dir", ".dreamcache",
+			`persistent result cache directory ("" disables the disk tier)`)
+		cacheMax = fs.Int64("cache-max-bytes", 0,
+			"disk cache size cap in bytes before LRU eviction (0 = 4 GiB default)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 		perfStats = fs.Bool("perfstats", false,
@@ -87,6 +93,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	harness.SetOutput(stderr)
 	if *nocache {
 		exp.SetCacheEnabled(false)
+	} else if *cacheDir != "" {
+		// An unusable cache dir degrades to compute-only; it must never turn
+		// a reproducible run into a failure.
+		if err := exp.SetDiskCache(*cacheDir, *cacheMax); err != nil {
+			fmt.Fprintf(stderr, "experiments: disk cache disabled: %v\n", err)
+		}
+		defer exp.SetDiskCache("", 0)
 	}
 	switch *engine {
 	case "", "wheel":
@@ -323,13 +336,23 @@ func eventsPerSec(ev uint64, d time.Duration) string {
 }
 
 // printCacheStats reports how much redundant work the run cache absorbed
-// over this invocation (each trace-set generation and each unprotected
-// baseline simulates once per process; everything else is a hit).
+// over this invocation. An in-memory miss served by the disk tier is still
+// reuse, not computation, so the computed counts subtract the disk hits —
+// a fully warm rerun reports 0 generated / 0 simulated rather than
+// masquerading as fresh work (or, before this split, as none at all).
 func printCacheStats(w io.Writer) {
 	st := exp.CacheStats()
-	if st.TraceMisses+st.RunMisses == 0 {
-		return
+	activity := st.TraceMisses + st.TraceHits + st.RunMisses + st.RunHits + st.MitMisses + st.MitHits
+	if activity > 0 {
+		fmt.Fprintf(w, "[run cache: traces %d generated (+%d mem, +%d disk reused), baselines %d simulated (+%d mem, +%d disk), mitigated %d simulated (+%d mem, +%d disk)]\n",
+			st.TraceMisses-st.DiskTraceHits, st.TraceHits, st.DiskTraceHits,
+			st.RunMisses-st.DiskRunHits, st.RunHits, st.DiskRunHits,
+			st.MitMisses-st.DiskMitHits, st.MitHits, st.DiskMitHits)
 	}
-	fmt.Fprintf(w, "[run cache: %d trace gens (+%d reused), %d baseline sims (+%d reused)]\n",
-		st.TraceMisses, st.TraceHits, st.RunMisses, st.RunHits)
+	d := st.Disk
+	if exp.DiskCacheDir() != "" || d.Hits+d.Misses+d.Puts > 0 {
+		fmt.Fprintf(w, "[disk cache: %d hits, %d misses, %d fills, %.1f MB in %d entries, %d evicted, %d corrupt, %d errors]\n",
+			d.Hits, d.Misses, d.Puts, float64(d.BytesHeld)/(1<<20), d.Entries,
+			d.Evictions, d.Corrupt, d.Errors)
+	}
 }

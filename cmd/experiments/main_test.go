@@ -11,14 +11,66 @@ import (
 )
 
 // runCLI drives the CLI in-process with a fresh run cache and clean notice
-// state, returning (exit code, stdout, stderr).
+// state, returning (exit code, stdout, stderr). The disk tier is off by
+// default — fault-injection tests rely on simulations actually executing —
+// and a test that wants it passes its own -cache-dir, which wins because
+// the flag package keeps the last occurrence.
 func runCLI(t *testing.T, args ...string) (int, string, string) {
 	t.Helper()
 	exp.ResetCache()
 	harness.ResetNotices()
+	args = append([]string{"-cache-dir", ""}, args...)
 	var out, errOut bytes.Buffer
 	code := run(args, &out, &errOut)
 	return code, out.String(), errOut.String()
+}
+
+// TestWarmRerunIsByteIdenticalAndDiskServed populates a temp cache dir with
+// one quick figure, then re-runs it after a full in-memory reset: the
+// figure output must be byte-identical and the second run must report disk
+// hits, proving the persistent tier round-trips results bit-exactly.
+func TestWarmRerunIsByteIdenticalAndDiskServed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real quick figure twice")
+	}
+	dir := t.TempDir()
+	args := []string{"-cache-dir", dir, "-run", "fig5", "-quick",
+		"-workloads", "bwaves", "-journal", "off"}
+	code, cold, errOut := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("cold run exit %d, stderr: %s", code, errOut)
+	}
+	code, warm, errOut := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("warm run exit %d, stderr: %s", code, errOut)
+	}
+	if got, want := figureLines(warm), figureLines(cold); got != want {
+		t.Errorf("warm figure output differs from cold:\ncold:\n%s\nwarm:\n%s", want, got)
+	}
+	if !strings.Contains(warm, "[disk cache: ") {
+		t.Fatalf("warm run printed no disk stats:\n%s", warm)
+	}
+	if strings.Contains(warm, "[disk cache: 0 hits") {
+		t.Errorf("warm run served no disk hits:\n%s", warm)
+	}
+	// The reporting satellite: a fully disk-served rerun must still emit the
+	// run-cache line, showing reuse rather than disappearing.
+	if !strings.Contains(warm, "[run cache: ") {
+		t.Errorf("warm run emitted no run-cache stats line:\n%s", warm)
+	}
+}
+
+// figureLines strips the bracketed harness/stats lines and timing footer,
+// leaving only the rendered figure content for byte comparison.
+func figureLines(out string) string {
+	var keep []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "[") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
 }
 
 func TestListExitsZero(t *testing.T) {

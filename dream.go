@@ -23,12 +23,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"repro/internal/addrmap"
 	dreamcore "repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dram"
 	"repro/internal/exp"
+	"repro/internal/harness"
 	"repro/internal/memctrl"
 	"repro/internal/obs"
 	"repro/internal/security"
@@ -139,6 +141,15 @@ type Config struct {
 	// The simulated schedule and the returned Result are bit-identical with
 	// metrics on or off.
 	Metrics *MetricsOptions
+	// CacheDir, when non-empty, persists results to a content-addressed
+	// disk cache at that directory (equivalent to calling SetCacheDir before
+	// the run): repeated identical simulations are served from disk across
+	// process restarts, bit-identical to recomputation. Metrics-bearing runs
+	// keep bypassing the cache. An unusable directory degrades the run to
+	// compute-only with a once-per-process notice, never an error.
+	CacheDir string
+	// CacheMaxBytes caps the disk cache before LRU eviction (0 = 4 GiB).
+	CacheMaxBytes int64
 }
 
 // Observability types, re-exported so facade users configure metrics and
@@ -179,6 +190,47 @@ func SetEngine(name string) error {
 // bit-identical to the serial one; it changes only wall-clock, and only
 // helps when GOMAXPROCS > 1.
 func SetParallelSubChannels(on bool) { exp.SetParallelSubChannels(on) }
+
+// cacheMu serializes SetCacheDir and remembers the applied setting so
+// repeated Config.CacheDir runs don't reopen the store on every call.
+var cacheMu struct {
+	sync.Mutex
+	dir string
+	max int64
+}
+
+// SetCacheDir attaches a persistent result cache at dir for every
+// subsequent run in this process (maxBytes caps it before LRU eviction;
+// 0 = 4 GiB). An empty dir detaches the cache. Cached results are
+// bit-identical to recomputation; corrupt or version-mismatched entries
+// are recomputed, never surfaced as errors. On error (e.g. an unwritable
+// directory) the process continues compute-only.
+func SetCacheDir(dir string, maxBytes int64) error {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if cacheMu.dir == dir && cacheMu.max == maxBytes {
+		return nil
+	}
+	err := exp.SetDiskCache(dir, maxBytes)
+	if err != nil {
+		cacheMu.dir, cacheMu.max = "", 0
+		return err
+	}
+	cacheMu.dir, cacheMu.max = dir, maxBytes
+	return nil
+}
+
+// applyCache applies a non-empty Config.CacheDir, degrading to
+// compute-only (with a once-per-directory notice) when the dir is unusable.
+func (c Config) applyCache() {
+	if c.CacheDir == "" {
+		return
+	}
+	if err := SetCacheDir(c.CacheDir, c.CacheMaxBytes); err != nil {
+		harness.Noticef("dream-cache-dir-"+c.CacheDir,
+			"dream: persistent cache disabled, computing instead: %v", err)
+	}
+}
 
 // withDefaults fills every unset sizing field with its documented default.
 func (c Config) withDefaults() Config {
@@ -287,6 +339,7 @@ func SimulateContext(ctx context.Context, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	cfg.applyCache()
 	results, errs, err := exp.ParallelCtx(ctx, 1,
 		func(jctx context.Context, _ int) (Result, error) {
 			return exp.Run(cfg.runConfig(sc, jctx))
@@ -318,6 +371,7 @@ func CompareContext(ctx context.Context, cfg Config) (base, scheme Result, slowd
 	if err != nil {
 		return
 	}
+	cfg.applyCache()
 	results, errs, err := exp.ParallelCtx(ctx, 2,
 		func(jctx context.Context, i int) (Result, error) {
 			rc := cfg.runConfig(sc, jctx)
@@ -538,6 +592,10 @@ func SimulateCustomContext(ctx context.Context, cfg Config, build func(sub int) 
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	// Custom schemes never declare purity (their behavior is not identified
+	// by a name), so they are never served from or written to the cache;
+	// applying the knob still lets their baselines share the disk tier.
+	cfg.applyCache()
 	sc := exp.Scheme{
 		Name:  "custom",
 		Build: func(env exp.Env, sub int) (memctrl.Mitigator, error) { return build(sub), nil },

@@ -4,8 +4,10 @@ package exp
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/memctrl"
 	"repro/internal/obs"
 	"repro/internal/runcache"
+	"repro/internal/runcache/diskcache"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/system"
@@ -52,6 +55,12 @@ type Scheme struct {
 	Build func(env Env, sub int) (memctrl.Mitigator, error)
 	// PRAC switches the DRAM to PRAC timings (tRP 14→36 ns).
 	PRAC bool
+	// Pure declares that Build is a pure function of (Env, sub) and that
+	// Name bakes in every constructor parameter — i.e. two schemes with the
+	// same Name behave identically given the same Env. Only Pure schemes
+	// qualify for mitigated-run memoization (mitKey); the built-in
+	// constructors in schemes.go all set it, facade custom schemes never do.
+	Pure bool
 }
 
 // RunConfig describes one simulation.
@@ -132,6 +141,56 @@ func ResetCache() { runCache.Reset() }
 // CacheStats snapshots the run cache's hit/miss counters.
 func CacheStats() runcache.Stats { return runCache.Stats() }
 
+// resultCodec serializes cached run results for the disk tier using the
+// stats.RunResult schema_version=1 versioned JSON (PR 5). An entry written
+// by a future schema fails UnmarshalJSON's version check, which the cache
+// treats as a miss — the run is recomputed and the entry rewritten.
+type resultCodec struct{}
+
+func (resultCodec) Encode(v any) ([]byte, error) {
+	r, ok := v.(stats.RunResult)
+	if !ok {
+		return nil, fmt.Errorf("exp: cannot encode %T as run result", v)
+	}
+	return json.Marshal(r)
+}
+
+func (resultCodec) Decode(data []byte) (any, error) {
+	var r stats.RunResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// SetDiskCache attaches a persistent disk tier at dir (maxBytes <= 0 selects
+// diskcache.DefaultMaxBytes) to the process-wide run cache, or detaches the
+// current one when dir is empty. On error (e.g. unwritable dir) the disk
+// tier is left detached and the process continues compute-only; callers
+// should warn and carry on rather than abort.
+func SetDiskCache(dir string, maxBytes int64) error {
+	if dir == "" {
+		runCache.SetDisk(nil, nil)
+		return nil
+	}
+	st, err := diskcache.Open(dir, maxBytes)
+	if err != nil {
+		runCache.SetDisk(nil, nil)
+		return fmt.Errorf("opening disk cache %s: %w", dir, err)
+	}
+	st.Notice = harness.Noticef
+	runCache.SetDisk(st, resultCodec{})
+	return nil
+}
+
+// DiskCacheDir reports the attached disk tier's directory ("" when none).
+func DiskCacheDir() string {
+	if st := runCache.Disk(); st != nil {
+		return st.Dir()
+	}
+	return ""
+}
+
 // simEvents counts event-loop events across every simulation actually
 // executed by this process (cache hits replay a result, so they add
 // nothing). The experiments CLI divides deltas of this counter by
@@ -206,8 +265,20 @@ func (cfg RunConfig) traceKey() (runcache.TraceKey, bool) {
 // an unprotected simulation — so a figure's threshold sweep shares one
 // baseline per workload.
 func (cfg RunConfig) runKey() (runcache.RunKey, bool) {
+	if cfg.Scheme.Build != nil {
+		return runcache.RunKey{}, false
+	}
+	return cfg.machineKey()
+}
+
+// machineKey builds the scheme-independent machine identity shared by
+// runKey and mitKey: the trace plus every knob that shapes the simulated
+// machine. It rejects metrics-bearing and legacy-path runs (metrics runs
+// must actually simulate to emit anything; legacy paths exist to be timed
+// and diffed, not replayed).
+func (cfg RunConfig) machineKey() (runcache.RunKey, bool) {
 	tk, ok := cfg.traceKey()
-	if !ok || cfg.Scheme.Build != nil || cfg.Metrics != nil || cfg.legacySched || cfg.legacyEngine {
+	if !ok || cfg.Metrics != nil || cfg.legacySched || cfg.legacyEngine {
 		return runcache.RunKey{}, false
 	}
 	mop := cfg.MOPCap
@@ -222,6 +293,29 @@ func (cfg RunConfig) runKey() (runcache.RunKey, bool) {
 		Characterize: cfg.Characterize,
 		MOPCap:       mop,
 		MaxTime:      int64(cfg.MaxTime),
+	}, true
+}
+
+// mitKey builds the cache identity of a mitigated run, and whether the
+// result is memoizable: the scheme must declare purity (Scheme.Pure — its
+// Name identifies its behavior completely) on top of the machineKey
+// conditions. T_RH, WindowScale, and the mitigator RNG seed all shape a
+// mitigated simulation, so unlike runKey they are part of the key;
+// WindowScale travels as its exact bit pattern.
+func (cfg RunConfig) mitKey() (runcache.MitKey, bool) {
+	if cfg.Scheme.Build == nil || !cfg.Scheme.Pure {
+		return runcache.MitKey{}, false
+	}
+	mk, ok := cfg.machineKey()
+	if !ok {
+		return runcache.MitKey{}, false
+	}
+	return runcache.MitKey{
+		Run:             mk,
+		Scheme:          cfg.Scheme.Name,
+		TRH:             cfg.TRH,
+		WindowScaleBits: math.Float64bits(cfg.WindowScale),
+		Seed:            cfg.Seed,
 	}, true
 }
 
@@ -363,8 +457,27 @@ func Run(cfg RunConfig) (stats.RunResult, error) {
 // is memoizable; failed fills are never retained (see runcache), so a
 // retry attempt recomputes rather than replaying the failure.
 func runMemo(cfg RunConfig, attempt int) (stats.RunResult, error) {
-	if key, ok := cfg.runKey(); ok && cacheEnabled.Load() {
+	if !cacheEnabled.Load() {
+		return runUncached(cfg, attempt)
+	}
+	if key, ok := cfg.runKey(); ok {
 		v, err := runCache.Run(key, func() (any, error) {
+			r, err := runUncached(cfg, attempt)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		})
+		if err != nil {
+			return stats.RunResult{}, err
+		}
+		return relabel(v.(stats.RunResult), cfg), nil
+	}
+	// Mitigated runs are only memoized from the unperturbed attempt: a retry
+	// salts the mitigator RNGs (tiebreakSalt), so its result is legitimately
+	// different from the canonical one and must never populate the cache.
+	if key, ok := cfg.mitKey(); ok && attempt == 0 {
+		v, err := runCache.Mit(key, func() (any, error) {
 			r, err := runUncached(cfg, attempt)
 			if err != nil {
 				return nil, err

@@ -16,6 +16,7 @@ var Baseline = Scheme{Name: "base"}
 func PARAWith(mode tracker.Mode) Scheme {
 	return Scheme{
 		Name: "para-" + lower(mode.String()),
+		Pure: true,
 		Build: func(env Env, sub int) (memctrl.Mitigator, error) {
 			return tracker.NewPARA(tracker.PARAProb(env.TRH), mode, env.RNG(sub))
 		},
@@ -27,6 +28,7 @@ func PARAWith(mode tracker.Mode) Scheme {
 func MINTWith(mode tracker.Mode) Scheme {
 	return Scheme{
 		Name: "mint-" + lower(mode.String()),
+		Pure: true,
 		Build: func(env Env, sub int) (memctrl.Mitigator, error) {
 			return tracker.NewMINT(tracker.MINTWindow(env.TRH), env.Banks, mode, env.RNG(sub))
 		},
@@ -42,6 +44,7 @@ func DreamRPARA(atm bool) Scheme {
 	}
 	return Scheme{
 		Name: name,
+		Pure: true,
 		Build: func(env Env, sub int) (memctrl.Mitigator, error) {
 			return dreamcore.NewDreamRPARA(dreamcore.DreamRPARAConfig{
 				TRH:    env.TRH,
@@ -65,6 +68,7 @@ func DreamRMINT(atm, rmaq bool) Scheme {
 	}
 	return Scheme{
 		Name: name,
+		Pure: true,
 		Build: func(env Env, sub int) (memctrl.Mitigator, error) {
 			return dreamcore.NewDreamRMINT(dreamcore.DreamRMINTConfig{
 				TRH:     env.TRH,
@@ -81,6 +85,7 @@ func DreamRMINT(atm, rmaq bool) Scheme {
 func GrapheneWith(mode tracker.Mode) Scheme {
 	return Scheme{
 		Name: "graphene-" + lower(mode.String()),
+		Pure: true,
 		Build: func(env Env, sub int) (memctrl.Mitigator, error) {
 			return tracker.NewGraphene(tracker.GrapheneConfig{
 				TRH:         env.TRH,
@@ -104,6 +109,7 @@ func DreamC(grouping dreamcore.Grouping, entryMult int, rmaq bool) Scheme {
 	}
 	return Scheme{
 		Name: name,
+		Pure: true,
 		Build: func(env Env, sub int) (memctrl.Mitigator, error) {
 			return dreamcore.NewDreamC(dreamcore.DreamCConfig{
 				TRH:         env.TRH,
@@ -123,6 +129,7 @@ func DreamC(grouping dreamcore.Grouping, entryMult int, rmaq bool) Scheme {
 func ABACuS() Scheme {
 	return Scheme{
 		Name: "abacus",
+		Pure: true,
 		Build: func(env Env, sub int) (memctrl.Mitigator, error) {
 			return tracker.NewABACuS(tracker.ABACuSConfig{
 				TRH:         env.TRH,
@@ -141,6 +148,7 @@ func MOAT() Scheme {
 	return Scheme{
 		Name: "moat",
 		PRAC: true,
+		Pure: true,
 		Build: func(env Env, sub int) (memctrl.Mitigator, error) {
 			return tracker.NewMOAT(tracker.MOATConfig{
 				TRH:         env.TRH,

@@ -1,0 +1,194 @@
+package runcache
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/runcache/diskcache"
+)
+
+// jsonCodec is a minimal Codec for tests: values are strings, stored raw.
+// decodeErr, when set, simulates a schema_version rejection.
+type testCodec struct {
+	decodeErr error
+}
+
+func (testCodec) Encode(v any) ([]byte, error) { return []byte(v.(string)), nil }
+func (c testCodec) Decode(data []byte) (any, error) {
+	if c.decodeErr != nil {
+		return nil, c.decodeErr
+	}
+	return string(data), nil
+}
+
+func openDisk(t *testing.T, dir string) *diskcache.Store {
+	t.Helper()
+	st, err := diskcache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestDiskTierServesFreshCache is the cross-process model: a second Cache
+// (fresh memory, same dir) must serve runs, mitigated runs, and traces from
+// disk without recomputing.
+func TestDiskTierServesFreshCache(t *testing.T) {
+	dir := t.TempDir()
+	tk := TraceKey{Kind: "rate", Workload: "mcf", Cores: 2, Accesses: 100, Seed: 1}
+	rk := RunKey{Trace: tk, MOPCap: 4, MaxTime: 99}
+	mk := MitKey{Run: rk, Scheme: "mint-dreamr", TRH: 2000, Seed: 1}
+	ts := TraceSet{{Access{Line: 7, Gap: 3}, Access{Line: 9, Write: true}}, {}}
+
+	var gens, runs, mits atomic.Int64
+	fill := func(c *Cache) (TraceSet, any, any, error) {
+		gotTS, err := c.Traces(tk, func() (TraceSet, error) { gens.Add(1); return ts, nil })
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		r, err := c.Run(rk, func() (any, error) { runs.Add(1); return "base-result", nil })
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		m, err := c.Mit(mk, func() (any, error) { mits.Add(1); return "mit-result", nil })
+		return gotTS, r, m, err
+	}
+
+	c1 := New(0)
+	c1.SetDisk(openDisk(t, dir), testCodec{})
+	if _, _, _, err := fill(c1); err != nil {
+		t.Fatal(err)
+	}
+	if gens.Load() != 1 || runs.Load() != 1 || mits.Load() != 1 {
+		t.Fatalf("cold fill computed %d/%d/%d, want 1/1/1", gens.Load(), runs.Load(), mits.Load())
+	}
+
+	// Fresh cache, same dir: everything must come from disk.
+	c2 := New(0)
+	c2.SetDisk(openDisk(t, dir), testCodec{})
+	gotTS, r, m, err := fill(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gens.Load() != 1 || runs.Load() != 1 || mits.Load() != 1 {
+		t.Fatalf("warm fill recomputed: %d/%d/%d gens/runs/mits", gens.Load(), runs.Load(), mits.Load())
+	}
+	if len(gotTS) != 2 || len(gotTS[0]) != 2 || gotTS[0][0] != ts[0][0] || gotTS[0][1] != ts[0][1] {
+		t.Errorf("trace set not bit-exact from disk: %v", gotTS)
+	}
+	if r != "base-result" || m != "mit-result" {
+		t.Errorf("results from disk = %v, %v", r, m)
+	}
+	st := c2.Stats()
+	if st.DiskTraceHits != 1 || st.DiskRunHits != 1 || st.DiskMitHits != 1 {
+		t.Errorf("disk hit counters = %d/%d/%d, want 1/1/1: %+v",
+			st.DiskTraceHits, st.DiskRunHits, st.DiskMitHits, st)
+	}
+	// The in-memory tables still record these as misses (they computed or
+	// loaded); the disk split is what distinguishes loaded from computed.
+	if st.TraceMisses != 1 || st.RunMisses != 1 || st.MitMisses != 1 {
+		t.Errorf("miss counters = %+v", st)
+	}
+	if st.Disk.Hits != 3 {
+		t.Errorf("store hits = %d, want 3: %+v", st.Disk.Hits, st.Disk)
+	}
+}
+
+// TestDiskDecodeFailureFallsBackToCompute simulates a schema_version
+// mismatch: the codec rejects the stored payload, the entry is dropped as
+// corrupt, and the value is recomputed and rewritten.
+func TestDiskDecodeFailureFallsBackToCompute(t *testing.T) {
+	dir := t.TempDir()
+	rk := RunKey{Trace: TraceKey{Kind: "rate", Workload: "x", Cores: 1, Accesses: 1}, MOPCap: 4}
+
+	c1 := New(0)
+	c1.SetDisk(openDisk(t, dir), testCodec{})
+	if _, err := c1.Run(rk, func() (any, error) { return "v1", nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := New(0)
+	st2 := openDisk(t, dir)
+	c2.SetDisk(st2, testCodec{decodeErr: errors.New("schema_version 99 too new")})
+	var computed atomic.Int64
+	v, err := c2.Run(rk, func() (any, error) { computed.Add(1); return "v2", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "v2" || computed.Load() != 1 {
+		t.Fatalf("decode failure did not fall back to compute: v=%v computed=%d", v, computed.Load())
+	}
+	if s := st2.Stats(); s.Corrupt == 0 {
+		t.Errorf("decode failure not counted as corrupt: %+v", s)
+	}
+	if s := c2.Stats(); s.DiskRunHits != 0 {
+		t.Errorf("decode failure counted as a disk hit: %+v", s)
+	}
+}
+
+// TestResetKeepsDiskAttached: Reset drops memory but the disk tier keeps
+// serving — the in-process model of a process restart.
+func TestResetKeepsDiskAttached(t *testing.T) {
+	c := New(0)
+	c.SetDisk(openDisk(t, t.TempDir()), testCodec{})
+	rk := RunKey{Trace: TraceKey{Kind: "rate", Workload: "y", Cores: 1, Accesses: 1}, MOPCap: 4}
+	var computed atomic.Int64
+	compute := func() (any, error) { computed.Add(1); return "v", nil }
+	if _, err := c.Run(rk, compute); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if _, err := c.Run(rk, compute); err != nil {
+		t.Fatal(err)
+	}
+	if computed.Load() != 1 {
+		t.Fatalf("computed %d times, want 1 (disk must survive Reset)", computed.Load())
+	}
+	if st := c.Stats(); st.DiskRunHits != 1 {
+		t.Errorf("post-Reset run not disk-served: %+v", st)
+	}
+}
+
+// TestDiskDetachedIsMemoryOnly: SetDisk(nil, nil) returns to PR-1 behavior.
+func TestDiskDetachedIsMemoryOnly(t *testing.T) {
+	dir := t.TempDir()
+	c := New(0)
+	c.SetDisk(openDisk(t, dir), testCodec{})
+	rk := RunKey{Trace: TraceKey{Kind: "rate", Workload: "z", Cores: 1, Accesses: 1}, MOPCap: 4}
+	if _, err := c.Run(rk, func() (any, error) { return "v", nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.SetDisk(nil, nil)
+	c.Reset()
+	var computed atomic.Int64
+	if _, err := c.Run(rk, func() (any, error) { computed.Add(1); return "v", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if computed.Load() != 1 {
+		t.Fatal("detached cache still served from disk")
+	}
+	if st := c.Stats(); st.Disk != (diskcache.Stats{}) {
+		t.Errorf("detached Stats still reports a store: %+v", st.Disk)
+	}
+}
+
+// TestDiskErrorNeverPoisons: a fill error is not written to disk, and the
+// next request recomputes.
+func TestDiskFailedFillNotPersisted(t *testing.T) {
+	c := New(0)
+	st := openDisk(t, t.TempDir())
+	c.SetDisk(st, testCodec{})
+	rk := RunKey{Trace: TraceKey{Kind: "rate", Workload: "w", Cores: 1, Accesses: 1}, MOPCap: 4}
+	if _, err := c.Run(rk, func() (any, error) { return nil, fmt.Errorf("boom") }); err == nil {
+		t.Fatal("fill error swallowed")
+	}
+	if s := st.Stats(); s.Puts != 0 {
+		t.Errorf("failed fill wrote %d entries", s.Puts)
+	}
+	v, err := c.Run(rk, func() (any, error) { return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("recovery fill: %v, %v", v, err)
+	}
+}

@@ -1,0 +1,166 @@
+package runcache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+)
+
+// --- canonical disk keys ------------------------------------------------------
+//
+// The disk tier addresses entries by a canonical string rendering of the
+// typed cache keys: every field spelled out, in a fixed order, with an
+// explicit generation stamp. The generation ("g1") must be bumped whenever a
+// change intentionally alters simulated behavior (new timing model, changed
+// tracker semantics), so entries written by an older binary can never be
+// served as the new binary's results. Bit-identical refactors (every engine
+// and layout change so far, proven by the equivalence suites) keep the
+// generation.
+
+const keyGeneration = "g1"
+
+// canonical renders the trace key for disk addressing.
+func (k TraceKey) canonical() string {
+	return "trace/" + keyGeneration +
+		"|kind=" + k.Kind +
+		"|wl=" + k.Workload +
+		"|mix=" + strconv.FormatUint(k.MixSeed, 10) +
+		"|cores=" + strconv.Itoa(k.Cores) +
+		"|acc=" + strconv.FormatUint(k.Accesses, 10) +
+		"|seed=" + strconv.FormatUint(k.Seed, 10)
+}
+
+// canonical renders the unprotected-run key for disk addressing.
+func (k RunKey) canonical() string {
+	return "run/" + keyGeneration +
+		"|" + k.Trace.canonical() +
+		"|prac=" + strconv.FormatBool(k.PRAC) +
+		"|llc=" + strconv.FormatBool(k.SmallLLC) +
+		"|audit=" + strconv.FormatBool(k.Audit) +
+		"|char=" + strconv.FormatBool(k.Characterize) +
+		"|mop=" + strconv.Itoa(k.MOPCap) +
+		"|maxt=" + strconv.FormatInt(k.MaxTime, 10)
+}
+
+// canonical renders the mitigated-run key for disk addressing. WindowScale
+// travels as its exact float64 bit pattern, so two runs share an entry only
+// when the scaled thresholds they derive are bit-identical.
+func (k MitKey) canonical() string {
+	return "mit/" + keyGeneration +
+		"|" + k.Run.canonical() +
+		"|scheme=" + k.Scheme +
+		"|trh=" + strconv.Itoa(k.TRH) +
+		"|ws=" + strconv.FormatUint(k.WindowScaleBits, 16) +
+		"|seed=" + strconv.FormatUint(k.Seed, 10)
+}
+
+// --- trace-set binary codec ---------------------------------------------------
+//
+// Trace sets dominate the disk tier's byte budget, so they are stored in a
+// compact length-prefixed binary form rather than JSON: a format byte, the
+// per-core stream count, then each stream as a length prefix followed by its
+// accesses. Line addresses are delta-encoded (zigzag varint of the wrapping
+// difference from the previous line), and each access's gap and write flag
+// share one varint. Every transform is bijective, so the decode is bit-exact
+// for arbitrary inputs — TestTraceSetCodecRoundTrip fuzzes exactly that.
+
+// traceSetFormat versions the binary encoding; a mismatch on read is a cache
+// miss (the entry is recomputed and rewritten), never an error.
+const traceSetFormat = 1
+
+// zigzag folds a signed delta into an unsigned varint-friendly value.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }
+
+// EncodeTraceSet renders ts in the compact binary form.
+func EncodeTraceSet(ts TraceSet) []byte {
+	// Worst case ~11 bytes per access; typical deltas make it far smaller.
+	out := make([]byte, 0, 64+int(ts.accesses())*6)
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(buf[:], v)
+		out = append(out, buf[:n]...)
+	}
+	out = append(out, traceSetFormat)
+	putUvarint(uint64(len(ts)))
+	for _, stream := range ts {
+		putUvarint(uint64(len(stream)))
+		var prev uint64
+		for _, a := range stream {
+			putUvarint(zigzag(int64(a.Line - prev)))
+			prev = a.Line
+			gw := zigzag(int64(a.Gap)) << 1
+			if a.Write {
+				gw |= 1
+			}
+			putUvarint(gw)
+		}
+	}
+	return out
+}
+
+// DecodeTraceSet parses the compact binary form, rejecting truncation,
+// trailing bytes, and unknown format versions.
+func DecodeTraceSet(data []byte) (TraceSet, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("runcache: empty trace-set payload")
+	}
+	if data[0] != traceSetFormat {
+		return nil, fmt.Errorf("runcache: trace-set format %d, want %d", data[0], traceSetFormat)
+	}
+	rest := data[1:]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("runcache: truncated trace-set payload")
+		}
+		rest = rest[n:]
+		return v, nil
+	}
+	nCores, err := next()
+	if err != nil {
+		return nil, err
+	}
+	const maxCores = 1 << 16
+	if nCores > maxCores {
+		return nil, fmt.Errorf("runcache: implausible trace-set core count %d", nCores)
+	}
+	ts := make(TraceSet, nCores)
+	for c := range ts {
+		n, err := next()
+		if err != nil {
+			return nil, err
+		}
+		// Each access costs at least 2 encoded bytes, so an absurd count on
+		// a short payload fails here instead of attempting the allocation.
+		if n > uint64(len(rest)) {
+			return nil, fmt.Errorf("runcache: trace stream length %d exceeds remaining payload", n)
+		}
+		stream := make([]Access, n)
+		var prev uint64
+		for i := range stream {
+			ld, err := next()
+			if err != nil {
+				return nil, err
+			}
+			line := prev + uint64(unzigzag(ld))
+			prev = line
+			gw, err := next()
+			if err != nil {
+				return nil, err
+			}
+			stream[i] = Access{
+				Line:  line,
+				Gap:   int32(unzigzag(gw >> 1)),
+				Write: gw&1 != 0,
+			}
+		}
+		ts[c] = stream
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("runcache: %d trailing bytes after trace set", len(rest))
+	}
+	return ts, nil
+}

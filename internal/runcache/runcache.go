@@ -18,6 +18,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/runcache/diskcache"
 )
 
 // TraceKey identifies one deterministic trace-set generation: the per-core
@@ -47,6 +49,26 @@ type RunKey struct {
 	Characterize bool
 	MOPCap       int
 	MaxTime      int64
+}
+
+// MitKey identifies one deterministic mitigated simulation: the unprotected
+// machine identity plus everything that parameterises the mitigator. It is
+// only valid for schemes whose behavior is a pure function of (name, Env) —
+// the experiment layer gates on that (Scheme.Pure) before building one.
+type MitKey struct {
+	Run RunKey
+	// Scheme is the scheme's name; built-in constructors bake every
+	// constructor parameter into it, making the name a content identity.
+	Scheme string
+	TRH    int
+	// WindowScaleBits is math.Float64bits of the run's WindowScale: exact,
+	// comparable, and hashable (the scaled counter thresholds and reset
+	// period derive from it).
+	WindowScaleBits uint64
+	// Seed feeds the per-sub-channel mitigator RNGs. It is listed even
+	// though rate-mode trace keys carry it too, because mix-mode traces are
+	// seed-independent while their mitigators are not.
+	Seed uint64
 }
 
 // Access is one recorded trace event: gap non-memory instructions followed
@@ -128,6 +150,15 @@ type Stats struct {
 	TraceEvictions                       int64
 	TraceAccessesHeld                    int64
 	RunHits, RunMisses, RunEntries       int64
+	MitHits, MitMisses, MitEntries       int64
+
+	// DiskTraceHits/DiskRunHits/DiskMitHits count in-memory misses that were
+	// served by the persistent tier instead of recomputed; subtracting them
+	// from the corresponding Misses gives the true computation count.
+	DiskTraceHits, DiskRunHits, DiskMitHits int64
+	// Disk aggregates the persistent store's own counters (zero value when
+	// no disk tier is attached).
+	Disk diskcache.Stats
 }
 
 // entry is one singleflight slot: ready closes when val/err are final.
@@ -259,10 +290,42 @@ func (t *table) reset() {
 // few hundred bytes each).
 const DefaultTraceBudget = 96 << 20
 
-// Cache memoizes trace sets and baseline run results.
+// Codec serializes run-result values for the disk tier. The cache stores
+// results as opaque `any` values, so the owner of the concrete type (the
+// experiment layer, which caches stats.RunResult) supplies the encoding —
+// the schema_version=1 versioned JSON. A Decode failure (e.g. an entry
+// written by a newer schema) is a cache miss, never an error.
+type Codec interface {
+	Encode(v any) ([]byte, error)
+	Decode(data []byte) (any, error)
+}
+
+// Disk-tier namespaces: trace sets and run results have different payload
+// encodings, so they live under distinct content-hash namespaces.
+const (
+	nsTrace = "trace"
+	nsRun   = "run"
+)
+
+// diskTier pairs the persistent store with the result codec.
+type diskTier struct {
+	store *diskcache.Store
+	codec Codec
+}
+
+// Cache memoizes trace sets, unprotected-baseline results, and mitigated-run
+// results, optionally backed by a persistent content-addressed disk tier.
+// Lookups go memory → disk → compute: an in-memory hit never touches the
+// disk, an in-memory miss consults the disk inside the singleflight fill
+// (so concurrent requests share one disk read or one computation), and a
+// computed fill writes through so the next process starts warm.
 type Cache struct {
-	traces *table
-	runs   *table
+	traces  *table
+	runs    *table
+	mitruns *table
+
+	disk                                    atomic.Pointer[diskTier]
+	diskTraceHits, diskRunHits, diskMitHits atomic.Int64
 }
 
 // New builds a cache bounding held trace data at traceBudget accesses
@@ -271,16 +334,70 @@ func New(traceBudget int64) *Cache {
 	if traceBudget <= 0 {
 		traceBudget = DefaultTraceBudget
 	}
-	return &Cache{traces: newTable(traceBudget), runs: newTable(0)}
+	return &Cache{traces: newTable(traceBudget), runs: newTable(0), mitruns: newTable(0)}
+}
+
+// SetDisk attaches (or, with a nil store, detaches) the persistent tier.
+// codec decodes and encodes run-result payloads; trace sets use the
+// package's own binary codec. Safe to call concurrently with lookups:
+// in-flight fills use whichever tier they loaded first.
+func (c *Cache) SetDisk(store *diskcache.Store, codec Codec) {
+	if store == nil {
+		c.disk.Store(nil)
+		return
+	}
+	c.disk.Store(&diskTier{store: store, codec: codec})
+}
+
+// Disk returns the attached persistent store (nil when memory-only).
+func (c *Cache) Disk() *diskcache.Store {
+	if d := c.disk.Load(); d != nil {
+		return d.store
+	}
+	return nil
+}
+
+// diskTraces reads and decodes one trace set from the persistent tier.
+func (c *Cache) diskTraces(d *diskTier, ck string) (TraceSet, bool) {
+	data, ok := d.store.Get(nsTrace, ck)
+	if !ok {
+		return nil, false
+	}
+	ts, err := DecodeTraceSet(data)
+	if err != nil {
+		d.store.NoteDecodeFailure(nsTrace, ck, err)
+		return nil, false
+	}
+	return ts, true
 }
 
 // Traces returns the recorded trace set for key, generating it with gen on
-// the first request. Concurrent requests for the same key generate once.
+// the first request. Concurrent requests for the same key generate once; a
+// persistent tier, when attached, is consulted before generating and filled
+// after.
 func (c *Cache) Traces(key TraceKey, gen func() (TraceSet, error)) (TraceSet, error) {
 	v, err := c.traces.do(key, func() (any, int64, error) {
+		ck := key.canonical()
+		if d := c.disk.Load(); d != nil {
+			if ts, ok := c.diskTraces(d, ck); ok {
+				c.diskTraceHits.Add(1)
+				return ts, ts.accesses(), nil
+			}
+			// Serialize the fill against other processes; whoever loses the
+			// race finds the winner's entry on the second look.
+			release := d.store.Lock(nsTrace, ck)
+			defer release()
+			if ts, ok := c.diskTraces(d, ck); ok {
+				c.diskTraceHits.Add(1)
+				return ts, ts.accesses(), nil
+			}
+		}
 		ts, err := gen()
 		if err != nil {
 			return nil, 0, err
+		}
+		if d := c.disk.Load(); d != nil {
+			d.store.Put(nsTrace, ck, EncodeTraceSet(ts))
 		}
 		return ts, ts.accesses(), nil
 	})
@@ -290,21 +407,68 @@ func (c *Cache) Traces(key TraceKey, gen func() (TraceSet, error)) (TraceSet, er
 	return v.(TraceSet), nil
 }
 
-// Run returns the memoized result for key, computing it with fn on the
-// first request. The value is treated as immutable by all callers.
-func (c *Cache) Run(key RunKey, fn func() (any, error)) (any, error) {
-	return c.runs.do(key, func() (any, int64, error) {
+// resultMemo is the shared memory → disk → compute path for the two
+// run-result tables.
+func (c *Cache) resultMemo(t *table, key any, ck string, diskHits *atomic.Int64, fn func() (any, error)) (any, error) {
+	return t.do(key, func() (any, int64, error) {
+		if d := c.disk.Load(); d != nil && d.codec != nil {
+			if v, ok := c.diskResult(d, ck); ok {
+				diskHits.Add(1)
+				return v, 1, nil
+			}
+			release := d.store.Lock(nsRun, ck)
+			defer release()
+			if v, ok := c.diskResult(d, ck); ok {
+				diskHits.Add(1)
+				return v, 1, nil
+			}
+		}
 		v, err := fn()
-		return v, 1, err
+		if err != nil {
+			return nil, 0, err
+		}
+		if d := c.disk.Load(); d != nil && d.codec != nil {
+			if data, encErr := d.codec.Encode(v); encErr == nil {
+				d.store.Put(nsRun, ck, data)
+			}
+		}
+		return v, 1, nil
 	})
 }
 
-// Stats snapshots hit/miss/entry counters.
+// diskResult reads and decodes one run result from the persistent tier.
+func (c *Cache) diskResult(d *diskTier, ck string) (any, bool) {
+	data, ok := d.store.Get(nsRun, ck)
+	if !ok {
+		return nil, false
+	}
+	v, err := d.codec.Decode(data)
+	if err != nil {
+		d.store.NoteDecodeFailure(nsRun, ck, err)
+		return nil, false
+	}
+	return v, true
+}
+
+// Run returns the memoized result for key, computing it with fn on the
+// first request. The value is treated as immutable by all callers.
+func (c *Cache) Run(key RunKey, fn func() (any, error)) (any, error) {
+	return c.resultMemo(c.runs, key, key.canonical(), &c.diskRunHits, fn)
+}
+
+// Mit returns the memoized mitigated-run result for key, computing it with
+// fn on the first request. Callers are responsible for only building MitKeys
+// for schemes whose results are pure functions of the key (see MitKey).
+func (c *Cache) Mit(key MitKey, fn func() (any, error)) (any, error) {
+	return c.resultMemo(c.mitruns, key, key.canonical(), &c.diskMitHits, fn)
+}
+
+// Stats snapshots hit/miss/entry counters across both tiers.
 func (c *Cache) Stats() Stats {
 	c.traces.mu.Lock()
 	held := c.traces.held
 	c.traces.mu.Unlock()
-	return Stats{
+	s := Stats{
 		TraceHits:         c.traces.hits.Load(),
 		TraceMisses:       c.traces.misses.Load(),
 		TraceEntries:      c.traces.len(),
@@ -313,11 +477,28 @@ func (c *Cache) Stats() Stats {
 		RunHits:           c.runs.hits.Load(),
 		RunMisses:         c.runs.misses.Load(),
 		RunEntries:        c.runs.len(),
+		MitHits:           c.mitruns.hits.Load(),
+		MitMisses:         c.mitruns.misses.Load(),
+		MitEntries:        c.mitruns.len(),
+		DiskTraceHits:     c.diskTraceHits.Load(),
+		DiskRunHits:       c.diskRunHits.Load(),
+		DiskMitHits:       c.diskMitHits.Load(),
 	}
+	if d := c.disk.Load(); d != nil {
+		s.Disk = d.store.Stats()
+	}
+	return s
 }
 
-// Reset drops all entries and zeroes the counters (tests, benchmarks).
+// Reset drops all in-memory entries and zeroes the counters (tests,
+// benchmarks). The persistent tier is deliberately untouched: a Reset
+// followed by re-running the same work is exactly the cross-process warm
+// path, and the determinism tests rely on that.
 func (c *Cache) Reset() {
 	c.traces.reset()
 	c.runs.reset()
+	c.mitruns.reset()
+	c.diskTraceHits.Store(0)
+	c.diskRunHits.Store(0)
+	c.diskMitHits.Store(0)
 }

@@ -16,6 +16,11 @@
 # BenchmarkSystemRun), because both change only wall-clock, never results —
 # a number recorded at GOMAXPROCS=1 with parallelism on is measuring barrier
 # overhead, not speedup, and must be read as such.
+#
+# It also records the persistent-cache mode (BENCH_CACHE_MODE, default
+# "cold"; set "warm" with BENCH_CACHE_DIR when timing disk-served reruns):
+# warm numbers measure the cache, not the kernels, and must never be
+# mistaken for simulator speedups.
 set -eu
 
 count=${1:-3}
@@ -23,6 +28,8 @@ cd "$(dirname "$0")/.."
 
 gomaxprocs=${GOMAXPROCS:-$(nproc 2>/dev/null || echo unknown)}
 parsub=${BENCH_PARALLEL_SUBCHANNELS:-0}
+cachemode=${BENCH_CACHE_MODE:-cold}
+cachedir=${BENCH_CACHE_DIR:-}
 
 out=$(go test -run '^$' -bench 'BenchmarkFig10$|BenchmarkFig19$|BenchmarkMitigatedRun|BenchmarkSystemRun' \
 	-benchtime=1x -benchmem -count="$count" -timeout 7200s . 2>&1) || {
@@ -31,7 +38,8 @@ out=$(go test -run '^$' -bench 'BenchmarkFig10$|BenchmarkFig19$|BenchmarkMitigat
 }
 
 echo "$out" | awk -v gover="$(go version | awk '{print $3}')" \
-	-v gomaxprocs="$gomaxprocs" -v parsub="$parsub" '
+	-v gomaxprocs="$gomaxprocs" -v parsub="$parsub" \
+	-v cachemode="$cachemode" -v cachedir="$cachedir" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
@@ -49,7 +57,7 @@ echo "$out" | awk -v gover="$(go version | awk '{print $3}')" \
 	}
 }
 END {
-	printf "{\n  \"schema_version\": 1,\n  \"go\": \"%s\",\n  \"gomaxprocs\": \"%s\",\n  \"parallel_subchannels\": %s,\n  \"benchtime\": \"1x (cold, cache reset per benchmark)\",\n", gover, gomaxprocs, (parsub == "1" ? "true" : "false")
+	printf "{\n  \"schema_version\": 1,\n  \"go\": \"%s\",\n  \"gomaxprocs\": \"%s\",\n  \"parallel_subchannels\": %s,\n  \"cache_mode\": \"%s\",\n  \"cache_dir\": \"%s\",\n  \"benchtime\": \"1x (cold, cache reset per benchmark)\",\n", gover, gomaxprocs, (parsub == "1" ? "true" : "false"), cachemode, cachedir
 	printf "  \"results\": {\n"
 	for (i = 1; i <= n; i++) {
 		b = order[i]

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/addrmap"
 	dreamcore "repro/internal/core"
@@ -190,6 +191,28 @@ func SetEngine(name string) error {
 // bit-identical to the serial one; it changes only wall-clock, and only
 // helps when GOMAXPROCS > 1.
 func SetParallelSubChannels(on bool) { exp.SetParallelSubChannels(on) }
+
+// RetryPolicy bounds how transiently-failed simulations are retried:
+// attempt count, base/max delay, and jitter. The zero value of every field
+// selects its documented default; DefaultRetryPolicy() reproduces the
+// historical behavior (one immediate retry with a perturbed tiebreak seed).
+type RetryPolicy = harness.Backoff
+
+// DefaultRetryPolicy returns the policy every process starts with: two
+// attempts, no delay — i.e. exactly one immediate retry.
+func DefaultRetryPolicy() RetryPolicy { return harness.DefaultBackoff() }
+
+// SetRetryPolicy installs the retry policy for every subsequent run in this
+// process and returns the previous one. Retries remain salted by attempt
+// number, so widening the policy never changes what a successful run
+// returns — only how patiently failures are retried.
+func SetRetryPolicy(p RetryPolicy) (prev RetryPolicy) { return exp.SetRetryPolicy(p) }
+
+// SetSimTimeout arms (or, with d <= 0, disarms) a wall-clock watchdog for
+// every subsequent simulation attempt and returns the previous setting. A
+// run exceeding the deadline aborts with a retryable structured error
+// carrying its last forward-progress snapshot.
+func SetSimTimeout(d time.Duration) (prev time.Duration) { return exp.SetRunTimeout(d) }
 
 // cacheMu serializes SetCacheDir and remembers the applied setting so
 // repeated Config.CacheDir runs don't reopen the store on every call.

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// TestParallelCtxCancelRaceDeterministic hammers the window between batch
+// submission and worker pickup: a context cancelled in that window must
+// report ErrSkipped for every job that never produced a result, never a
+// raced "real" ctx-cancellation failure, and the aggregate join must hold
+// only genuine causes (here: none). Run under -race.
+func TestParallelCtxCancelRaceDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	for round := 0; round < 200; round++ {
+		const n = 16
+		ctx, cancel := context.WithCancel(context.Background())
+		// Cancel at a randomized point: sometimes before submission,
+		// sometimes mid-batch, sometimes after a few jobs have run.
+		delay := time.Duration(rng.Intn(200)) * time.Microsecond
+		go func() {
+			time.Sleep(delay)
+			cancel()
+		}()
+		var started atomic.Int64
+		results, errs, err := ParallelCtx(ctx, n, func(jctx context.Context, i int) (int, error) {
+			started.Add(1)
+			// Mimic exp.Run's early bail-out: a claimed job observes the
+			// cancelled context and returns a wrapped ctx error.
+			if cerr := jctx.Err(); cerr != nil {
+				return 0, fmt.Errorf("job saw cancellation: %w", cerr)
+			}
+			return i + 1, nil
+		})
+		cancel()
+		if err != nil {
+			t.Fatalf("round %d: aggregate error %v, want nil (cancellation is fallout, not a cause)", round, err)
+		}
+		for i, e := range errs {
+			switch {
+			case e == nil:
+				if results[i] != i+1 {
+					t.Fatalf("round %d: job %d finished with result %d", round, i, results[i])
+				}
+			case errors.Is(e, harness.ErrSkipped):
+				// fine: skipped deterministically
+			default:
+				t.Fatalf("round %d: job %d reported %v, want nil or ErrSkipped", round, i, e)
+			}
+		}
+	}
+}
+
+// TestParallelCtxRealFailureStillReported guards the other side of the race
+// fix: a genuine job failure (not caused by the batch context) must stay in
+// the aggregate join even though the batch context is cancelled as fallout.
+func TestParallelCtxRealFailureStillReported(t *testing.T) {
+	boom := errors.New("deterministic failure")
+	_, errs, err := ParallelCtx(context.Background(), 8, func(jctx context.Context, i int) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		// Slow siblings observe the fallout cancellation.
+		select {
+		case <-jctx.Done():
+			return 0, fmt.Errorf("aborted: %w", jctx.Err())
+		case <-time.After(50 * time.Millisecond):
+			return i, nil
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("aggregate = %v, want the real failure", err)
+	}
+	for i, e := range errs {
+		if i == 3 {
+			if !errors.Is(e, boom) {
+				t.Errorf("job 3 error = %v, want the cause", e)
+			}
+			continue
+		}
+		if e != nil && !errors.Is(e, harness.ErrSkipped) {
+			t.Errorf("job %d error = %v, want nil or ErrSkipped (ctx fallout must not join)", i, e)
+		}
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Error("aggregate join contains ctx-cancellation fallout")
+	}
+}

@@ -382,6 +382,32 @@ func SetRunTimeout(d time.Duration) (prev time.Duration) {
 // RunTimeout reports the current per-simulation wall-clock deadline.
 func RunTimeout() time.Duration { return time.Duration(runTimeoutNS.Load()) }
 
+// retryPolicy is the process-wide bounded-retry policy applied to
+// transiently-failed simulations (harness.IsRetryable errors). The default
+// reproduces the harness's historical behavior exactly: one immediate retry
+// with a perturbed tiebreak seed. A service front-end can widen it to capped
+// jittered exponential backoff via SetRetryPolicy.
+var retryPolicy atomic.Value // harness.Backoff
+
+func init() { retryPolicy.Store(harness.DefaultBackoff()) }
+
+// SetRetryPolicy installs the retry policy for every subsequent Run and
+// returns the previous one. Only the attempt count and pacing change;
+// retries are salted by attempt number exactly as before, so the
+// bit-identity contract of salted retries is unaffected.
+func SetRetryPolicy(b harness.Backoff) (prev harness.Backoff) {
+	return retryPolicy.Swap(b).(harness.Backoff)
+}
+
+// RetryPolicy reports the current retry policy.
+func RetryPolicy() harness.Backoff { return retryPolicy.Load().(harness.Backoff) }
+
+// retryCount counts scheduled retries process-wide (service /metrics).
+var retryCount atomic.Uint64
+
+// Retries reports how many simulation retries this process has scheduled.
+func Retries() uint64 { return retryCount.Load() }
+
 // tiebreakSalt perturbs the mitigator RNG seed on the bounded retry of a
 // transiently-failed run: trace generation still uses the original Seed, so
 // the retry replays the same workload, but scheduling tiebreaks inside the
@@ -410,8 +436,9 @@ func (cfg RunConfig) runID() harness.RunID {
 // bit-identical to an uncached run.
 //
 // Failures come back as *harness.SimError carrying the run identity; a
-// retryable failure (watchdog trip, injected transient) is retried exactly
-// once with a perturbed tiebreak seed before being reported.
+// retryable failure (watchdog trip, injected transient) is retried under the
+// process retry policy (SetRetryPolicy; default one immediate retry) with a
+// perturbed tiebreak seed per attempt before being reported.
 func Run(cfg RunConfig) (stats.RunResult, error) {
 	if cfg.Cores <= 0 {
 		harness.Noticef("exp-normalize-cores",
@@ -444,12 +471,23 @@ func Run(cfg RunConfig) (stats.RunResult, error) {
 		}
 	}
 
-	r, err := runMemo(cfg, 0)
-	if err != nil && harness.IsRetryable(err) {
-		harness.Logf("exp: %s failed transiently, retrying once with perturbed tiebreak seed: %v",
-			cfg.runID(), err)
-		r, err = runMemo(cfg, 1)
+	pol := RetryPolicy()
+	rctx := cfg.Ctx
+	if rctx == nil {
+		rctx = context.Background()
 	}
+	var r stats.RunResult
+	err := harness.Retry(rctx, pol,
+		func(attempt int) error {
+			var aerr error
+			r, aerr = runMemo(cfg, attempt)
+			return aerr
+		},
+		func(attempt int, err error) {
+			retryCount.Add(1)
+			harness.Logf("exp: %s failed transiently, retrying with perturbed tiebreak seed (attempt %d of %d): %v",
+				cfg.runID(), attempt+1, pol.Attempts(), err)
+		})
 	return r, err
 }
 
@@ -867,6 +905,16 @@ func ParallelCtx[T any](ctx context.Context, n int, job func(ctx context.Context
 		}
 		r, err := job(jctx, i)
 		if err != nil {
+			// A job aborted by the batch context is fallout, not a cause: a
+			// cancellation landing between batch submission and worker pickup
+			// (or mid-run) must deterministically read as skipped, never as a
+			// raced "real" failure — the jobs that lost the pickup race would
+			// otherwise surface wrapped ctx errors while their siblings
+			// report ErrSkipped, depending on scheduling.
+			if cerr := jctx.Err(); cerr != nil && errors.Is(err, cerr) {
+				errs[i] = fmt.Errorf("job %d: %w", i, harness.ErrSkipped)
+				return
+			}
 			b.fail(i, err)
 			return
 		}

@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's admission mode.
+type BreakerState int
+
+const (
+	// BreakerClosed admits everything (healthy).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen sheds everything until the open window elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits one probe at a time to test recovery.
+	BreakerHalfOpen
+)
+
+// String names the state the way /metrics and log lines spell it.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a consecutive-failure circuit breaker: Threshold failures in a
+// row trip it open for OpenFor, after which one probe request at a time is
+// admitted (half-open) — a probe success closes the breaker, a probe failure
+// re-opens it for another window. Admission hands out a generation token
+// that Report/Drop echo back, so an outcome reported by a request admitted
+// under an earlier state can never flip the current one (a slow success from
+// before the trip must not silently close an open breaker).
+//
+// All methods are safe for concurrent use. The zero value is not usable;
+// construct with NewBreaker.
+type Breaker struct {
+	threshold int
+	openFor   time.Duration
+
+	// now is the clock, overridable for tests via SetClock.
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	gen      int64 // bumped on every state transition
+	fails    int   // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	trips    int64
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive failures
+// (<= 0 selects 3) and shedding for openFor (<= 0 selects 30s) before
+// probing recovery.
+func NewBreaker(threshold int, openFor time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if openFor <= 0 {
+		openFor = 30 * time.Second
+	}
+	return &Breaker{threshold: threshold, openFor: openFor, now: time.Now}
+}
+
+// SetClock overrides the breaker's clock (tests). Set before sharing.
+func (b *Breaker) SetClock(now func() time.Time) { b.now = now }
+
+// Allow decides admission. ok=true hands back a token the caller must
+// eventually pass to Report (with the request's outcome) or Drop (if the
+// request never ran — e.g. it was rejected downstream); ok=false means shed,
+// with retryAfter estimating when admission may resume.
+func (b *Breaker) Allow() (token int64, retryAfter time.Duration, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return b.gen, 0, true
+	case BreakerOpen:
+		remaining := b.openedAt.Add(b.openFor).Sub(b.now())
+		if remaining > 0 {
+			return 0, remaining, false
+		}
+		b.transition(BreakerHalfOpen)
+		b.probing = true
+		return b.gen, 0, true
+	case BreakerHalfOpen:
+		if b.probing {
+			// A probe is already out; shed and suggest coming back after a
+			// fraction of the window rather than a full one.
+			return 0, b.openFor / 4, false
+		}
+		b.probing = true
+		return b.gen, 0, true
+	}
+	return 0, b.openFor, false
+}
+
+// Report records the outcome of a request admitted with token. Stale tokens
+// (from before a state transition) are ignored.
+func (b *Breaker) Report(token int64, failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if token != b.gen {
+		return
+	}
+	switch b.state {
+	case BreakerClosed:
+		if failure {
+			b.fails++
+			if b.fails >= b.threshold {
+				b.trip()
+			}
+		} else {
+			b.fails = 0
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if failure {
+			b.trip()
+		} else {
+			b.transition(BreakerClosed)
+		}
+	}
+}
+
+// Drop releases a token whose request never ran (rejected by a later
+// admission stage), without counting an outcome. Without it a rejected
+// half-open probe would wedge the breaker in probing forever.
+func (b *Breaker) Drop(token int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if token == b.gen && b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// trip opens the breaker now. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.transition(BreakerOpen)
+	b.openedAt = b.now()
+	b.trips++
+}
+
+// transition switches state, bumping the generation. Caller holds b.mu.
+func (b *Breaker) transition(s BreakerState) {
+	b.state = s
+	b.gen++
+	b.fails = 0
+	b.probing = false
+}
+
+// State reports the current admission mode without advancing it (an open
+// breaker past its window reports open until the next Allow probes).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips reports how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -108,7 +108,7 @@ var ErrSkipped = errors.New("harness: skipped after earlier failure")
 var (
 	outMu   sync.Mutex
 	out     io.Writer = os.Stderr
-	noticed sync.Map // key -> struct{}
+	noticed sync.Map  // key -> struct{}
 )
 
 // SetOutput redirects harness notices (default os.Stderr) and returns the

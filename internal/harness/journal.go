@@ -1,12 +1,13 @@
 package harness
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 // EntrySchemaVersion versions the journal's JSONL encoding, following the
@@ -38,44 +39,70 @@ const (
 	StatusFail = "fail"
 )
 
-// Journal is an append-only JSONL record of experiment completions. Every
-// Record rewrites the whole file to a temp path and renames it into place,
-// so a crash mid-write can never leave a torn journal: readers see either
-// the previous complete state or the new one.
+// Journal is an append-only JSONL record of experiment completions. Record
+// appends one line and fsyncs before acknowledging, so a completion the
+// caller has seen recorded survives a kill -9 (the file's directory entry is
+// fsynced on first create for the same reason). A crash mid-append can leave
+// at most one torn final line, which OpenJournal detects (no trailing
+// newline) and discards; the next Record overwrites the torn tail.
+//
+// Journal is safe for concurrent Record/Completed/Failed calls from multiple
+// goroutines; it is not multi-process safe (one writer per file).
 type Journal struct {
+	mu      sync.Mutex
 	path    string
 	entries []Entry
+	f       *os.File // lazily opened by Record, kept open for appends
+	// validLen is the byte offset of the parsed prefix at open time; a torn
+	// tail past it is truncated away before the first append.
+	validLen int64
 }
 
 // OpenJournal loads the journal at path, treating a missing file as empty.
-// Unparseable lines fail loudly rather than silently dropping history.
+// A torn final line — one not terminated by a newline, as left by a crash
+// mid-append — is skipped with a notice; any other unparseable line fails
+// loudly rather than silently dropping history.
 func OpenJournal(path string) (*Journal, error) {
 	j := &Journal{path: path}
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return j, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("harness: opening journal: %w", err)
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // experiment outputs can be long
+	rest := data
 	line := 0
-	for sc.Scan() {
+	for len(rest) > 0 {
 		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
+		nl := bytes.IndexByte(rest, '\n')
+		complete := nl >= 0
+		var raw []byte
+		if complete {
+			raw = rest[:nl]
+		} else {
+			raw = rest
 		}
-		var e Entry
-		if err := json.Unmarshal([]byte(text), &e); err != nil {
-			return nil, fmt.Errorf("harness: journal %s line %d: %w", path, line, err)
+		if !complete {
+			// A final line with no terminating newline is a torn append from
+			// a crash mid-write, whatever its bytes happen to parse as: drop
+			// it with a notice; the next Record truncates it away.
+			if strings.TrimSpace(string(raw)) != "" {
+				Logf("journal %s: dropping torn final line %d (%d bytes left by an interrupted write)",
+					path, line, len(raw))
+			}
+			return j, nil
 		}
-		j.entries = append(j.entries, e)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("harness: reading journal: %w", err)
+		text := strings.TrimSpace(string(raw))
+		if text != "" {
+			var e Entry
+			if err := json.Unmarshal([]byte(text), &e); err != nil {
+				return nil, fmt.Errorf("harness: journal %s line %d: %w", path, line, err)
+			}
+			j.entries = append(j.entries, e)
+		}
+		j.validLen += int64(nl + 1)
+		rest = rest[nl+1:]
 	}
 	return j, nil
 }
@@ -84,12 +111,18 @@ func OpenJournal(path string) (*Journal, error) {
 func (j *Journal) Path() string { return j.path }
 
 // Entries returns a copy of the journaled completions, in record order.
-func (j *Journal) Entries() []Entry { return append([]Entry(nil), j.entries...) }
+func (j *Journal) Entries() []Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Entry(nil), j.entries...)
+}
 
 // Completed reports whether id's most recent entry succeeded — a failed
 // attempt followed by a successful re-run counts as completed; the reverse
 // does not.
 func (j *Journal) Completed(id string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	for i := len(j.entries) - 1; i >= 0; i-- {
 		if j.entries[i].ID == id {
 			return j.entries[i].Status == StatusOK
@@ -100,6 +133,8 @@ func (j *Journal) Completed(id string) bool {
 
 // Failed lists the IDs whose most recent entry is a failure.
 func (j *Journal) Failed() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	last := make(map[string]string)
 	var order []string
 	for _, e := range j.entries {
@@ -117,8 +152,10 @@ func (j *Journal) Failed() []string {
 	return out
 }
 
-// Record appends e and atomically persists the whole journal (write temp +
-// rename). The parent directory is created on first use.
+// Record appends e as one JSONL line and fsyncs the file before returning,
+// so an acknowledged completion is crash-durable. The parent directory is
+// created — and fsynced, so the new file's directory entry is durable too —
+// on first use.
 func (j *Journal) Record(e Entry) error {
 	if e.Status != StatusOK && e.Status != StatusFail {
 		return fmt.Errorf("harness: journal entry %q has invalid status %q", e.ID, e.Status)
@@ -126,25 +163,79 @@ func (j *Journal) Record(e Entry) error {
 	if e.SchemaVersion == 0 {
 		e.SchemaVersion = EntrySchemaVersion
 	}
-	j.entries = append(j.entries, e)
-	if err := os.MkdirAll(filepath.Dir(j.path), 0o755); err != nil {
-		return fmt.Errorf("harness: creating journal dir: %w", err)
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("harness: encoding journal entry %q: %w", e.ID, err)
 	}
-	var buf strings.Builder
-	for _, e := range j.entries {
-		b, err := json.Marshal(e)
-		if err != nil {
-			return fmt.Errorf("harness: encoding journal entry %q: %w", e.ID, err)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		if err := j.open(); err != nil {
+			return err
 		}
-		buf.Write(b)
-		buf.WriteByte('\n')
 	}
-	tmp := j.path + ".tmp"
-	if err := os.WriteFile(tmp, []byte(buf.String()), 0o644); err != nil {
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
 		return fmt.Errorf("harness: writing journal: %w", err)
 	}
-	if err := os.Rename(tmp, j.path); err != nil {
-		return fmt.Errorf("harness: committing journal: %w", err)
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("harness: syncing journal: %w", err)
 	}
+	j.entries = append(j.entries, e)
 	return nil
+}
+
+// open prepares the append handle: create the directory (fsyncing it so the
+// journal's dirent is durable), open the file, and truncate away any torn
+// tail past the prefix OpenJournal parsed. Caller holds j.mu.
+func (j *Journal) open() error {
+	dir := filepath.Dir(j.path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("harness: creating journal dir: %w", err)
+	}
+	_, statErr := os.Stat(j.path)
+	created := os.IsNotExist(statErr)
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("harness: opening journal for append: %w", err)
+	}
+	// Drop a torn tail (or any concurrent-writer debris past what we
+	// parsed); appends then continue from the durable prefix.
+	if err := f.Truncate(j.validLen); err != nil {
+		f.Close()
+		return fmt.Errorf("harness: truncating torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(j.validLen, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("harness: seeking journal: %w", err)
+	}
+	if created {
+		// fsync the directory so the new file's entry survives a crash.
+		if d, derr := os.Open(dir); derr == nil {
+			d.Sync() // best effort; some filesystems reject directory fsync
+			d.Close()
+		}
+	}
+	j.f = f
+	return nil
+}
+
+// Close releases the append handle (a later Record reopens it). Safe to call
+// on a journal that never recorded.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.validLen = fileSize(j.path)
+	j.f = nil
+	return err
+}
+
+func fileSize(path string) int64 {
+	if fi, err := os.Stat(path); err == nil {
+		return fi.Size()
+	}
+	return 0
 }

@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -65,6 +68,92 @@ func TestJournalAtomicWrite(t *testing.T) {
 	}
 	if !strings.HasSuffix(string(data), "\n") {
 		t.Error("journal not newline-terminated")
+	}
+}
+
+// TestJournalRecoversTornFinalLine simulates a kill -9 mid-append: the last
+// line is a partial JSON object with no terminating newline. Re-opening must
+// keep every complete entry, skip the torn tail instead of erroring, and the
+// next Record must overwrite the torn bytes so the file stays parseable.
+func TestJournalRecoversTornFinalLine(t *testing.T) {
+	defer SetOutput(SetOutput(io.Discard))
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(Entry{ID: "fig5", Status: StatusOK}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(Entry{ID: "fig9", Status: StatusOK}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the file the way an interrupted append would: a partial entry
+	// with no trailing newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"schema_version":1,"id":"fig10","sta`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn journal rejected: %v", err)
+	}
+	if got := len(j2.Entries()); got != 2 {
+		t.Fatalf("entries after torn reopen = %d, want 2", got)
+	}
+	if j2.Completed("fig10") {
+		t.Error("torn entry counted as completed")
+	}
+	// The next Record must truncate the torn tail, not append after it.
+	if err := j2.Record(Entry{ID: "fig10", Status: StatusOK}); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("journal unparseable after post-tear Record: %v", err)
+	}
+	if got := len(j3.Entries()); got != 3 {
+		t.Fatalf("entries = %d, want 3", got)
+	}
+	if !j3.Completed("fig10") {
+		t.Error("post-tear completion lost")
+	}
+}
+
+// TestJournalConcurrentRecord exercises the mutex: concurrent Records from
+// many goroutines must all land as complete lines.
+func TestJournalConcurrentRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := j.Record(Entry{ID: fmt.Sprintf("req-%d", i), Status: StatusOK}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(j2.Entries()); got != n {
+		t.Errorf("entries = %d, want %d", got, n)
 	}
 }
 

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Metric is one sample for a Prometheus-style text exposition endpoint.
+// The service front-end (internal/svc) renders its counters and gauges
+// through WriteMetricsText so /metrics speaks the same dialect as the
+// offline exporters without pulling in a client library.
+type Metric struct {
+	Name string
+	Help string
+	Type string // "counter" or "gauge"
+	// Labels are rendered sorted by key for a stable exposition.
+	Labels map[string]string
+	Value  float64
+}
+
+// WriteMetricsText renders ms in the Prometheus text exposition format
+// (version 0.0.4): one # HELP / # TYPE header per metric name (emitted at
+// its first sample), then one sample line per Metric. Samples sharing a
+// name must agree on Help and Type; samples are emitted in slice order so
+// callers control grouping.
+func WriteMetricsText(w io.Writer, ms []Metric) error {
+	seen := make(map[string]bool, len(ms))
+	for _, m := range ms {
+		if !seen[m.Name] {
+			seen[m.Name] = true
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+					return err
+				}
+			}
+			typ := m.Type
+			if typ == "" {
+				typ = "gauge"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, typ); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, formatLabels(m.Labels), formatValue(m.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatLabels renders {k="v",...} with keys sorted, or "" when empty.
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders integers without an exponent so counters read as
+// counts; everything else uses the shortest round-trip float form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/svc"
+)
+
+// TestLocalAndRemoteRenderIdentically is the tentpole contract: fanning a
+// figure's campaign through dreamd must render byte-for-byte the same table
+// as running it in-process.
+func TestLocalAndRemoteRenderIdentically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full quick figure twice")
+	}
+	s, err := svc.New(svc.Options{Workers: 2, QueueDepth: 16, DrainTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	args := []string{"-run", "fig5", "-quick", "-workloads", "bwaves"}
+
+	var localOut, localErr bytes.Buffer
+	if code := run(append(args, "-local", "-cache-dir", ""), &localOut, &localErr); code != 0 {
+		t.Fatalf("local run exited %d: %s", code, localErr.String())
+	}
+	var remoteOut, remoteErr bytes.Buffer
+	if code := run(append(args, "-peers", ts.URL), &remoteOut, &remoteErr); code != 0 {
+		t.Fatalf("remote run exited %d: %s", code, remoteErr.String())
+	}
+
+	if !bytes.Equal(localOut.Bytes(), remoteOut.Bytes()) {
+		t.Errorf("renderings differ\n-- local --\n%s\n-- remote --\n%s",
+			localOut.String(), remoteOut.String())
+	}
+	if localOut.Len() == 0 {
+		t.Error("local rendering is empty")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-run", "fig5"}, &out, &errBuf); code != 2 {
+		t.Errorf("no -peers/-local: exit %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "-peers") {
+		t.Errorf("stderr %q does not mention -peers", errBuf.String())
+	}
+
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
+		t.Errorf("-list: exit %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "fig5") {
+		t.Errorf("-list output missing fig5:\n%s", out.String())
+	}
+
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-run", "nope", "-local", "-cache-dir", ""}, &out, &errBuf); code != 1 {
+		t.Errorf("unknown experiment: exit %d, want 1", code)
+	}
+}

@@ -13,6 +13,8 @@
 //	POST /v1/simulate   {"workload":"bfs","scheme":"mint-dreamr",...,"timeout_ms":60000}
 //	POST /v1/compare    same body; returns base, scheme, slowdown
 //	POST /v1/attack     {"kind":"double-sided","scheme":"moat",...}
+//	POST /v1/campaign   version-stamped cell plan; streams per-cell JSONL
+//	                    results (lease-ledger work-stealing with -campaign-dir)
 //	GET  /healthz       liveness (always 200 while the process runs)
 //	GET  /readyz        readiness + warm journal entry count
 //	GET  /metrics       Prometheus text exposition
@@ -71,6 +73,12 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			"graceful-shutdown drain budget before in-flight work is cancelled")
 		enableFaults = fs.Bool("enable-faults", false,
 			"expose POST /debug/fault (test-only fault injection)")
+		campaignDir = fs.String("campaign-dir", "",
+			`shared lease-ledger directory for /v1/campaign work-stealing ("" runs campaigns standalone); every shard of one campaign must share it along with -cache-dir`)
+		leaseTTL = fs.Duration("lease-ttl", 90*time.Second,
+			"campaign cell lease lifetime; a crashed shard's cells are reclaimable after this")
+		shardID = fs.String("shard-id", "",
+			`this shard's identity in lease records ("" = host-pid); live shards must not share one`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -91,6 +99,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		JournalPath:      *journal,
 		DrainTimeout:     *drainTO,
 		EnableFaults:     *enableFaults,
+		CampaignDir:      *campaignDir,
+		LeaseTTL:         *leaseTTL,
+		ShardID:          *shardID,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "dreamd: %v\n", err)

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/svc"
+)
+
+// TestHelperDreamdServer is not a test: it is the child-process entry the
+// crash test re-executes the test binary into, so a shard can be SIGKILLed
+// without taking the test down with it.
+func TestHelperDreamdServer(t *testing.T) {
+	if os.Getenv("DREAMD_HELPER") != "1" {
+		t.Skip("helper process entry, not a test")
+	}
+	args := strings.Split(os.Getenv("DREAMD_ARGS"), "\x1f")
+	os.Exit(run(args, os.Stdout, os.Stderr, nil))
+}
+
+// startShard launches one real dreamd process sharing dir-based state with
+// its siblings and returns its base URL and process handle.
+func startShard(t *testing.T, id, cacheDir, campDir string, extra ...string) (string, *exec.Cmd) {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-cache-dir", cacheDir,
+		"-campaign-dir", campDir,
+		"-shard-id", id,
+		"-lease-ttl", "1s",
+		"-workers", "1",
+		"-journal", "",
+	}, extra...)
+	cmd := exec.Command(os.Args[0], "-test.run", "TestHelperDreamdServer")
+	cmd.Env = append(os.Environ(), "DREAMD_HELPER=1", "DREAMD_ARGS="+strings.Join(args, "\x1f"))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	// The server prints "dreamd: listening on <addr> ..." once bound.
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(30 * time.Second)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				addrCh <- strings.Fields(rest)[0]
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, cmd
+	case <-deadline:
+		t.Fatalf("shard %s never came up", id)
+		return "", nil
+	}
+}
+
+func shardMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	m := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.LastIndexByte(line, ' '); i > 0 {
+			var v float64
+			if _, err := fmt.Sscanf(line[i+1:], "%g", &v); err == nil {
+				m[line[:i]] = v
+			}
+		}
+	}
+	return m
+}
+
+// TestShardCrashRecovery kills one of two dreamd shards mid-campaign and
+// requires the survivor to reclaim the dead shard's expired leases and finish
+// the campaign with results byte-identical to in-process execution.
+func TestShardCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real server processes")
+	}
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	campDir := filepath.Join(dir, "campaign")
+
+	t0 := time.Now()
+	urlA, cmdA := startShard(t, "shard-a", cacheDir, campDir)
+	urlB, _ := startShard(t, "shard-b", cacheDir, campDir)
+	t.Logf("shards up at %v", time.Since(t0))
+
+	// ~200ms-2s per cell on one worker: shard A is guaranteed to die holding an
+	// uncompleted lease, and the campaign long outlives the kill.
+	var cells []exp.CampaignCell
+	for _, scheme := range []string{"base", "para-nrr", "mint-nrr", "graphene-nrr", "mint-dreamr", "moat", "abacus", "dreamc-set-assoc"} {
+		cells = append(cells, exp.CampaignCell{
+			Workload: "mcf", Scheme: scheme,
+			TRH: 1000, Cores: 1, Accesses: 300_000, Seed: 0x5ead,
+		})
+	}
+
+	client := &svc.CampaignClient{Endpoints: []string{urlA, urlB}, RetryRounds: 3}
+	type outT struct{ out []exp.CellResult }
+	done := make(chan outT, 1)
+	go func() {
+		done <- outT{client.ExecCells(context.Background(), cells)}
+	}()
+
+	// Kill A once it is mid-campaign: it claims its first lease within
+	// milliseconds of the plan POST landing, and each cell takes hundreds of milliseconds.
+	time.Sleep(700 * time.Millisecond)
+	if err := cmdA.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmdA.Wait()
+	t.Logf("killed A at %v", time.Since(t0))
+
+	var res outT
+	select {
+	case res = <-done:
+	case <-time.After(3 * time.Minute):
+		t.Fatal("campaign did not finish after shard kill")
+	}
+	t.Logf("campaign done at %v", time.Since(t0))
+
+	// Every cell resolved, each byte-identical to an in-process run.
+	for i, r := range res.out {
+		if r.Err != nil {
+			t.Fatalf("cell %d: %v", i, r.Err)
+		}
+		want, err := exp.ExecCell(context.Background(), cells[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, _ := json.Marshal(want)
+		gb, _ := json.Marshal(r.Res)
+		if !bytes.Equal(wb, gb) {
+			t.Errorf("cell %d (%s): sharded result differs from in-process", i, cells[i].Scheme)
+		}
+	}
+
+	t.Logf("local verify done at %v", time.Since(t0))
+	// The survivor must have stolen at least the lease A died holding.
+	mb := shardMetrics(t, urlB)
+	if mb[`dreamd_campaign_cells_total{event="stolen"}`] == 0 {
+		t.Errorf("survivor stole no leases; metrics: %v", filterPrefix(mb, "dreamd_campaign"))
+	}
+	if mb[`dreamd_campaign_cells_total{event="completed"}`] == 0 {
+		t.Error("survivor completed no cells")
+	}
+}
+
+func filterPrefix(m map[string]float64, prefix string) map[string]float64 {
+	out := make(map[string]float64)
+	for k, v := range m {
+		if strings.HasPrefix(k, prefix) {
+			out[k] = v
+		}
+	}
+	return out
+}

@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	dreamcore "repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/stats"
 	"repro/internal/tracker"
 )
@@ -246,55 +248,52 @@ func Fig23(o Options) error {
 		Columns: []string{"T_RH", "moat(prac)", "mint-dreamr", "dreamc"}}
 	for _, trh := range []int{500, 1000, 2000} {
 		schemes := []Scheme{MOAT(), DreamRMINT(true, false), DreamC(dreamcore.GroupRandomized, 1, false)}
-		type job struct {
-			mix    int
-			scheme Scheme
-		}
-		var jobs []job
-		for m := 0; m < nmix; m++ {
-			jobs = append(jobs, job{m, Baseline})
-			for _, sc := range schemes {
-				jobs = append(jobs, job{m, sc})
+		// MixSeed routes trace generation through the run cache: each mix is
+		// recorded once and replayed for every (T_RH, scheme) cell, and the
+		// baseline simulation itself is memoized across the T_RH sweep (it
+		// does not depend on the threshold).
+		var cells []CampaignCell
+		cell := func(m int, scheme string) CampaignCell {
+			return CampaignCell{
+				Workload: fmt.Sprintf("mix%d", m),
+				MixSeed:  uint64(m) + 1,
+				Scheme:   scheme,
+				TRH:      trh, Cores: 8,
+				Accesses:        o.accesses(),
+				Seed:            o.seed(),
+				WindowScaleBits: math.Float64bits(o.windowScale()),
 			}
 		}
-		results, err := Parallel(len(jobs), func(i int) (stats.RunResult, error) {
-			j := jobs[i]
-			// MixSeed routes trace generation through the run cache: each
-			// mix is recorded once and replayed for every (T_RH, scheme)
-			// job, and the baseline simulation itself is memoized across
-			// the T_RH sweep (it does not depend on the threshold).
-			return Run(RunConfig{
-				Workload:        fmt.Sprintf("mix%d", j.mix),
-				Cores:           8,
-				AccessesPerCore: o.accesses(),
-				TRH:             trh,
-				Scheme:          j.scheme,
-				Seed:            o.seed(),
-				WindowScale:     o.windowScale(),
-				MixSeed:         uint64(j.mix) + 1,
-			})
-		})
-		if err != nil {
-			return err
+		for m := 0; m < nmix; m++ {
+			cells = append(cells, cell(m, Baseline.Name))
+			for _, sc := range schemes {
+				cells = append(cells, cell(m, sc.Name))
+			}
 		}
-		base := make(map[int]stats.RunResult)
-		for i, j := range jobs {
-			if j.scheme.Name == "base" {
-				base[j.mix] = results[i]
+		results := o.executor().ExecCells(context.Background(), cells)
+		for _, r := range results {
+			if r.Err != nil && !errors.Is(r.Err, harness.ErrSkipped) {
+				return r.Err
+			}
+		}
+		base := make(map[uint64]stats.RunResult)
+		for i, c := range cells {
+			if c.Scheme == "base" {
+				base[c.MixSeed] = results[i].Res
 			}
 		}
 		avg := make(map[string]float64)
-		for i, j := range jobs {
-			if j.scheme.Name == "base" {
+		for i, c := range cells {
+			if c.Scheme == "base" {
 				continue
 			}
 			// Weighted-speedup slowdown with the unprotected run on the
 			// same traces as the per-core normalisation.
-			sd, err := stats.SlowdownWS(base[j.mix], results[i], base[j.mix].CoreIPC)
+			sd, err := stats.SlowdownWS(base[c.MixSeed], results[i].Res, base[c.MixSeed].CoreIPC)
 			if err != nil {
 				return err
 			}
-			avg[j.scheme.Name] += sd / float64(nmix)
+			avg[c.Scheme] += sd / float64(nmix)
 		}
 		t.AddRow(fmt.Sprintf("%d", trh),
 			stats.Pct(avg["moat"]), stats.Pct(avg["mint-dreamr"]), stats.Pct(avg["dreamc-randomized"]))

@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/harness"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -21,9 +22,20 @@ type Options struct {
 	Out   io.Writer
 	// Workloads overrides the workload list.
 	Workloads []string
+	// Executor, when non-nil, routes grid campaign cells through an
+	// alternative execution backend (dreamctl's sharded fan-out across dreamd
+	// endpoints); nil executes in-process on the shared worker pool.
+	Executor Executor
 }
 
 func (o Options) out() io.Writer { return o.Out }
+
+func (o Options) executor() Executor {
+	if o.Executor != nil {
+		return o.Executor
+	}
+	return localExecutor{}
+}
 
 func (o Options) seed() uint64 {
 	if o.Seed == 0 {
@@ -163,62 +175,48 @@ func slowdownGridN(o Options, wls []string, trh int, cores int, schemes []Scheme
 		}
 	}
 
+	// The grid is a two-wave campaign: plan and execute the baselines, derive
+	// each workload's WindowScale from its measured baseline, then plan and
+	// execute the scheme cells with the scale stamped in. Both waves go
+	// through the Options executor, so the same planner output runs in-process
+	// or fanned out across dreamd shards.
 	ctx := context.Background()
+	ex := o.executor()
 	base := make(map[string]stats.RunResult)
-	baseResults, baseErrs, baseErr := ParallelCtx(ctx, len(wls), func(_ context.Context, i int) (stats.RunResult, error) {
-		return Run(RunConfig{
-			Workload:        wls[i],
-			Cores:           cores,
-			AccessesPerCore: accesses,
-			TRH:             trh,
-			Scheme:          Baseline,
-			Seed:            o.seed(),
-		})
-	})
+	baseCells := PlanGridBase(wls, trh, cores, accesses, o.seed())
+	baseRes := ex.ExecCells(ctx, baseCells)
 	// Scheme runs need their workload's measured baseline (WindowScale);
 	// a workload whose baseline failed fails whole-row.
 	var good []string
+	var fails []error
 	for i, wl := range wls {
-		if baseErrs[i] != nil {
+		if err := baseRes[i].Err; err != nil {
 			markFailed(wl)
+			if !errors.Is(err, harness.ErrSkipped) {
+				fails = append(fails, err)
+			}
 			continue
 		}
-		base[wl] = baseResults[i]
-		raw[wl]["base"] = baseResults[i]
+		base[wl] = baseRes[i].Res
+		raw[wl]["base"] = baseRes[i].Res
 		good = append(good, wl)
 	}
 
-	type job struct {
-		wl     string
-		scheme Scheme
-	}
-	var jobs []job
-	for _, wl := range good {
-		for _, sc := range schemes {
-			jobs = append(jobs, job{wl, sc})
-		}
-	}
-	results, jobErrs, schemeErr := ParallelCtx(ctx, len(jobs), func(_ context.Context, i int) (stats.RunResult, error) {
-		j := jobs[i]
-		return Run(RunConfig{
-			Workload:        j.wl,
-			Cores:           cores,
-			AccessesPerCore: accesses,
-			TRH:             trh,
-			Scheme:          j.scheme,
-			Seed:            o.seed(),
-			WindowScale:     scaleFromBase(base[j.wl].SimTimeNS),
-		})
-	})
-	for i, j := range jobs {
-		if jobErrs[i] != nil {
-			slow[j.wl][j.scheme.Name] = math.NaN()
+	cells := PlanGridSchemes(good, schemeNames(schemes), trh, cores, accesses, o.seed(),
+		func(wl string) uint64 { return math.Float64bits(scaleFromBase(base[wl].SimTimeNS)) })
+	results := ex.ExecCells(ctx, cells)
+	for i, c := range cells {
+		if err := results[i].Err; err != nil {
+			slow[c.Workload][c.Scheme] = math.NaN()
+			if !errors.Is(err, harness.ErrSkipped) {
+				fails = append(fails, err)
+			}
 			continue
 		}
-		raw[j.wl][j.scheme.Name] = results[i]
-		slow[j.wl][j.scheme.Name] = stats.Slowdown(base[j.wl], results[i])
+		raw[c.Workload][c.Scheme] = results[i].Res
+		slow[c.Workload][c.Scheme] = stats.Slowdown(base[c.Workload], results[i].Res)
 	}
-	return slow, raw, errors.Join(baseErr, schemeErr)
+	return slow, raw, errors.Join(fails...)
 }
 
 // printSlowdownTable renders a per-workload slowdown table plus the average

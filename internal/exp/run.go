@@ -183,6 +183,27 @@ func SetDiskCache(dir string, maxBytes int64) error {
 	return nil
 }
 
+// SetDiskCacheLockTuning adjusts the attached disk tier's cross-process
+// entry-lock behavior: wait bounds how long a fill waits on another
+// process's lock before duplicating the computation, stale is the age at
+// which an orphaned lock (crashed holder) is broken. Zero keeps the current
+// value; no-op when no disk tier is attached. Sharded campaign servers bound
+// both by the lease TTL — a SIGKILLed sibling's orphaned lock must not stall
+// a stolen cell longer than the lease protocol already tolerates, and
+// duplicating the fill is the protocol's safe fallback.
+func SetDiskCacheLockTuning(wait, stale time.Duration) {
+	st := runCache.Disk()
+	if st == nil {
+		return
+	}
+	if wait > 0 {
+		st.LockWait = wait
+	}
+	if stale > 0 {
+		st.LockStale = stale
+	}
+}
+
 // DiskCacheDir reports the attached disk tier's directory ("" when none).
 func DiskCacheDir() string {
 	if st := runCache.Disk(); st != nil {
@@ -440,6 +461,38 @@ func (cfg RunConfig) runID() harness.RunID {
 // process retry policy (SetRetryPolicy; default one immediate retry) with a
 // perturbed tiebreak seed per attempt before being reported.
 func Run(cfg RunConfig) (stats.RunResult, error) {
+	cfg = cfg.normalized()
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return stats.RunResult{}, harness.Wrap(cfg.runID(), err)
+		}
+	}
+
+	pol := RetryPolicy()
+	rctx := cfg.Ctx
+	if rctx == nil {
+		rctx = context.Background()
+	}
+	var r stats.RunResult
+	err := harness.Retry(rctx, pol,
+		func(attempt int) error {
+			var aerr error
+			r, aerr = runMemo(cfg, attempt)
+			return aerr
+		},
+		func(attempt int, err error) {
+			retryCount.Add(1)
+			harness.Logf("exp: %s failed transiently, retrying with perturbed tiebreak seed (attempt %d of %d): %v",
+				cfg.runID(), attempt+1, pol.Attempts(), err)
+		})
+	return r, err
+}
+
+// normalized applies Run's documented zero-value defaults and the
+// process-wide metrics/engine settings. It is shared by Run and the cache
+// probe path (ProbeCell), which must key the cache with exactly the
+// configuration Run would execute.
+func (cfg RunConfig) normalized() RunConfig {
 	if cfg.Cores <= 0 {
 		harness.Noticef("exp-normalize-cores",
 			"exp: RunConfig.Cores <= 0 normalized to 8 (documented on RunConfig; logged once)")
@@ -465,30 +518,7 @@ func Run(cfg RunConfig) (stats.RunResult, error) {
 	if defaultLegacyEngine.Load() {
 		cfg.legacyEngine = true
 	}
-	if cfg.Ctx != nil {
-		if err := cfg.Ctx.Err(); err != nil {
-			return stats.RunResult{}, harness.Wrap(cfg.runID(), err)
-		}
-	}
-
-	pol := RetryPolicy()
-	rctx := cfg.Ctx
-	if rctx == nil {
-		rctx = context.Background()
-	}
-	var r stats.RunResult
-	err := harness.Retry(rctx, pol,
-		func(attempt int) error {
-			var aerr error
-			r, aerr = runMemo(cfg, attempt)
-			return aerr
-		},
-		func(attempt int, err error) {
-			retryCount.Add(1)
-			harness.Logf("exp: %s failed transiently, retrying with perturbed tiebreak seed (attempt %d of %d): %v",
-				cfg.runID(), attempt+1, pol.Attempts(), err)
-		})
-	return r, err
+	return cfg
 }
 
 // runMemo routes one attempt through the run cache when the configuration

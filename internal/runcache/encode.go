@@ -19,6 +19,11 @@ import (
 
 const keyGeneration = "g1"
 
+// KeyGeneration reports the content-hash key generation. Campaign plans are
+// stamped with it so two processes only exchange cells when their binaries
+// agree on what a cache key means.
+func KeyGeneration() string { return keyGeneration }
+
 // canonical renders the trace key for disk addressing.
 func (k TraceKey) canonical() string {
 	return "trace/" + keyGeneration +

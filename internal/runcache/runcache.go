@@ -450,6 +450,49 @@ func (c *Cache) diskResult(d *diskTier, ck string) (any, bool) {
 	return v, true
 }
 
+// peekResult reports a finished in-memory entry or a disk-tier entry for
+// key without computing, filling, or joining anything: an in-flight fill is
+// a miss (peeking must never block on another goroutine's computation), and
+// a disk hit is returned without populating the memory tier, so probing a
+// thousand planned cells does not inflate the working set.
+func (c *Cache) peekResult(t *table, key any, ck string, diskHits *atomic.Int64) (any, bool) {
+	t.mu.Lock()
+	e, ok := t.entries[key]
+	t.mu.Unlock()
+	if ok {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				t.hits.Add(1)
+				return e.val, true
+			}
+		default:
+		}
+	}
+	d := c.disk.Load()
+	if d == nil || d.codec == nil {
+		return nil, false
+	}
+	v, ok := c.diskResult(d, ck)
+	if !ok {
+		return nil, false
+	}
+	diskHits.Add(1)
+	return v, true
+}
+
+// PeekRun is the non-filling probe counterpart of Run: it reports whether a
+// completed result for key is already held (memory or disk) without
+// computing one.
+func (c *Cache) PeekRun(key RunKey) (any, bool) {
+	return c.peekResult(c.runs, key, key.canonical(), &c.diskRunHits)
+}
+
+// PeekMit is the non-filling probe counterpart of Mit.
+func (c *Cache) PeekMit(key MitKey) (any, bool) {
+	return c.peekResult(c.mitruns, key, key.canonical(), &c.diskMitHits)
+}
+
 // Run returns the memoized result for key, computing it with fn on the
 // first request. The value is treated as immutable by all callers.
 func (c *Cache) Run(key RunKey, fn func() (any, error)) (any, error) {

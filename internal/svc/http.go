@@ -28,6 +28,10 @@ const (
 	errPanic      = "panic"
 	errSim        = "sim"
 	errCanceled   = "canceled"
+	// errPlanMismatch rejects a /v1/campaign whose plan this shard derives
+	// differently (schema version, cache key generation, or plan hash):
+	// exchanging results across the mismatch would merge incomparable cells.
+	errPlanMismatch = "plan_mismatch"
 )
 
 // errBody is the structured error every non-2xx response carries.
@@ -79,6 +83,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	mux.HandleFunc("POST /v1/attack", s.handleAttack)
+	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -190,12 +195,21 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	type readiness struct {
 		Ready bool `json:"ready"`
+		// QueueDepth and InFlight report current load so a fan-out client can
+		// prefer idle shards; both are informational, not readiness-gating.
+		QueueDepth int `json:"queue_depth"`
+		InFlight   int `json:"in_flight"`
 		// WarmEntries counts journaled completions, i.e. requests a restarted
 		// server expects to serve straight from its disk cache.
 		WarmEntries int    `json:"warm_entries"`
 		CacheDir    string `json:"cache_dir,omitempty"`
 	}
-	rd := readiness{Ready: s.Ready(), CacheDir: exp.DiskCacheDir()}
+	rd := readiness{
+		Ready:      s.Ready(),
+		QueueDepth: len(s.queue),
+		InFlight:   s.InflightCount(),
+		CacheDir:   exp.DiskCacheDir(),
+	}
 	if s.journal != nil {
 		rd.WarmEntries = len(s.journal.Entries())
 	}
@@ -232,8 +246,26 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{Name: "dreamd_cache_disk_hits_total", Help: "Memory misses served by the persistent tier.", Type: "counter", Value: float64(cs.DiskRunHits + cs.DiskMitHits + cs.DiskTraceHits)},
 		{Name: "dreamd_cache_disk_bytes", Help: "Bytes resident in the persistent tier.", Type: "gauge", Value: float64(cs.Disk.BytesHeld)},
 		{Name: "dreamd_cache_disk_corrupt_total", Help: "Persistent-tier entries dropped by read-side verification.", Type: "counter", Value: float64(cs.Disk.Corrupt)},
+		{Name: "dreamd_inflight_requests", Help: "Distinct flights queued or executing.", Type: "gauge", Value: float64(m.InFlight)},
+		{Name: "dreamd_campaigns_total", Help: "Campaign batches accepted on /v1/campaign.", Type: "counter", Value: float64(m.Campaign.Campaigns)},
+		{Name: "dreamd_campaigns_active", Help: "Campaign streams currently open.", Type: "gauge", Value: float64(m.Campaign.Active)},
+		{Name: "dreamd_campaign_cells_total", Help: "Campaign cells by lifecycle event.", Type: "counter",
+			Labels: map[string]string{"event": "planned"}, Value: float64(m.Campaign.CellsPlanned)},
+		{Name: "dreamd_campaign_cells_total",
+			Labels: map[string]string{"event": "leased"}, Value: float64(m.Campaign.CellsLeased)},
+		{Name: "dreamd_campaign_cells_total",
+			Labels: map[string]string{"event": "stolen"}, Value: float64(m.Campaign.CellsStolen)},
+		{Name: "dreamd_campaign_cells_total",
+			Labels: map[string]string{"event": "completed"}, Value: float64(m.Campaign.CellsCompleted)},
+		{Name: "dreamd_campaign_cells_total",
+			Labels: map[string]string{"event": "failed"}, Value: float64(m.Campaign.CellsFailed)},
+		{Name: "dreamd_campaign_cells_total",
+			Labels: map[string]string{"event": "cache_served"}, Value: float64(m.Campaign.CellsCacheServed)},
+		{Name: "dreamd_campaign_cells_total",
+			Labels: map[string]string{"event": "peer_served"}, Value: float64(m.Campaign.CellsPeerServed)},
+		{Name: "dreamd_campaign_cell_busy_seconds", Help: "Wall-clock spent executing campaign cells on this shard (completed/busy = shard throughput).", Type: "counter", Value: m.Campaign.CellBusy.Seconds()},
 	}
-	for _, class := range []string{ClassSimulate, ClassCompare, ClassAttack} {
+	for _, class := range []string{ClassSimulate, ClassCompare, ClassAttack, ClassCampaign} {
 		bm := m.Breakers[class]
 		var open float64
 		if bm.State != "closed" {

@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,9 @@ const (
 	ClassSimulate = "simulate"
 	ClassCompare  = "compare"
 	ClassAttack   = "attack"
+	// ClassCampaign covers /v1/campaign cell executions: a livelocking cell
+	// trips its own breaker without shedding interactive simulate traffic.
+	ClassCampaign = "campaign"
 )
 
 // Options configures a Service. Zero fields take the documented defaults.
@@ -67,6 +71,18 @@ type Options struct {
 	DrainTimeout time.Duration
 	// EnableFaults exposes the test-only POST /debug/fault endpoint.
 	EnableFaults bool
+
+	// CampaignDir, when non-empty, is the shared lease-ledger directory for
+	// /v1/campaign: every shard of one campaign must point at the same
+	// directory (and share CacheDir) to work-steal cells. Empty runs
+	// campaigns standalone — all cells execute locally, no ledger.
+	CampaignDir string
+	// LeaseTTL is how long a claimed cell stays unstealable; a crashed shard
+	// loses at most its leased cells for this long (default 90s).
+	LeaseTTL time.Duration
+	// ShardID identifies this process in lease records; two live shards must
+	// never share one (default "host-pid").
+	ShardID string
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +106,16 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = 30 * time.Second
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 90 * time.Second
+	}
+	if o.ShardID == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "shard"
+		}
+		o.ShardID = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 	return o
 }
@@ -164,6 +190,18 @@ type Service struct {
 	completed       atomic.Int64
 	failed          atomic.Int64
 	panics          atomic.Int64
+
+	// Campaign counters (see campaign.go).
+	campaigns        atomic.Int64
+	campaignsActive  atomic.Int64
+	cellsPlanned     atomic.Int64
+	cellsLeased      atomic.Int64
+	cellsStolen      atomic.Int64
+	cellsCompleted   atomic.Int64
+	cellsFailed      atomic.Int64
+	cellsCacheServed atomic.Int64
+	cellsPeerServed  atomic.Int64
+	cellBusyNS       atomic.Int64
 }
 
 // New builds a Service (not yet admitting; call Start).
@@ -176,7 +214,7 @@ func New(opts Options) (*Service, error) {
 		breakers: make(map[string]*harness.Breaker),
 	}
 	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
-	for _, class := range []string{ClassSimulate, ClassCompare, ClassAttack} {
+	for _, class := range []string{ClassSimulate, ClassCompare, ClassAttack, ClassCampaign} {
 		s.breakers[class] = harness.NewBreaker(opts.BreakerThreshold, opts.BreakerOpenFor)
 	}
 	if opts.JournalPath != "" {
@@ -214,6 +252,11 @@ func (s *Service) Start() {
 		if err := dream.SetCacheDir(s.opts.CacheDir, s.opts.CacheMaxBytes); err != nil {
 			harness.Noticef("svc-cache-dir-"+s.opts.CacheDir,
 				"dreamd: persistent cache disabled, serving compute-only: %v", err)
+		} else if s.opts.CampaignDir != "" {
+			// Sharded mode: a crashed sibling's orphaned disk-cache entry lock
+			// must not stall a stolen cell longer than its lease — duplicated
+			// fills are the campaign protocol's safe fallback.
+			exp.SetDiskCacheLockTuning(s.opts.LeaseTTL, 2*s.opts.LeaseTTL)
 		}
 	}
 	for i := 0; i < s.opts.Workers; i++ {
@@ -483,15 +526,40 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	return err
 }
 
+// InflightCount reports distinct in-flight (queued or executing) flights —
+// the /readyz in-flight gauge.
+func (s *Service) InflightCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inflight)
+}
+
 // Metrics snapshots every service counter for /metrics and tests.
 type Metrics struct {
 	QueueDepth, QueueCap                          int
+	InFlight                                      int
 	Accepted, Deduped                             int64
 	RejectedQueue, RejectedBreaker, RejectedDrain int64
 	Completed, Failed, Panics                     int64
 	Retries                                       uint64
 	Breakers                                      map[string]BreakerMetrics
 	JournalEntries                                int
+	Campaign                                      CampaignMetrics
+}
+
+// CampaignMetrics snapshots the /v1/campaign counters. CellBusy is summed
+// wall-clock spent executing cells on this shard; CellsCompleted/CellBusy is
+// the shard's campaign throughput.
+type CampaignMetrics struct {
+	Campaigns, Active int64
+	CellsPlanned      int64
+	CellsLeased       int64
+	CellsStolen       int64
+	CellsCompleted    int64
+	CellsFailed       int64
+	CellsCacheServed  int64
+	CellsPeerServed   int64
+	CellBusy          time.Duration
 }
 
 // BreakerMetrics is one class breaker's state for /metrics.
@@ -505,6 +573,7 @@ func (s *Service) Snapshot() Metrics {
 	m := Metrics{
 		QueueDepth:      len(s.queue),
 		QueueCap:        s.opts.QueueDepth,
+		InFlight:        s.InflightCount(),
 		Accepted:        s.accepted.Load(),
 		Deduped:         s.deduped.Load(),
 		RejectedQueue:   s.rejectedQueue.Load(),
@@ -515,6 +584,18 @@ func (s *Service) Snapshot() Metrics {
 		Panics:          s.panics.Load(),
 		Retries:         exp.Retries(),
 		Breakers:        make(map[string]BreakerMetrics),
+		Campaign: CampaignMetrics{
+			Campaigns:        s.campaigns.Load(),
+			Active:           s.campaignsActive.Load(),
+			CellsPlanned:     s.cellsPlanned.Load(),
+			CellsLeased:      s.cellsLeased.Load(),
+			CellsStolen:      s.cellsStolen.Load(),
+			CellsCompleted:   s.cellsCompleted.Load(),
+			CellsFailed:      s.cellsFailed.Load(),
+			CellsCacheServed: s.cellsCacheServed.Load(),
+			CellsPeerServed:  s.cellsPeerServed.Load(),
+			CellBusy:         time.Duration(s.cellBusyNS.Load()),
+		},
 	}
 	s.mu.Lock()
 	for class, br := range s.breakers {

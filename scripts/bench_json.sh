@@ -21,6 +21,11 @@
 # "cold"; set "warm" with BENCH_CACHE_DIR when timing disk-served reruns):
 # warm numbers measure the cache, not the kernels, and must never be
 # mistaken for simulator speedups.
+#
+# Sharded-campaign recordings set BENCH_SHARDS (dreamd process count, default
+# 0 = in-process, no campaign API involved) and BENCH_CAMPAIGN_DIR (the
+# shared lease-ledger directory). On a 1-CPU host multi-shard numbers
+# measure lease/merge overhead, not scaling — the header keeps that honest.
 set -eu
 
 count=${1:-3}
@@ -30,6 +35,8 @@ gomaxprocs=${GOMAXPROCS:-$(nproc 2>/dev/null || echo unknown)}
 parsub=${BENCH_PARALLEL_SUBCHANNELS:-0}
 cachemode=${BENCH_CACHE_MODE:-cold}
 cachedir=${BENCH_CACHE_DIR:-}
+shards=${BENCH_SHARDS:-0}
+campdir=${BENCH_CAMPAIGN_DIR:-}
 
 out=$(go test -run '^$' -bench 'BenchmarkFig10$|BenchmarkFig19$|BenchmarkMitigatedRun|BenchmarkSystemRun' \
 	-benchtime=1x -benchmem -count="$count" -timeout 7200s . 2>&1) || {
@@ -39,7 +46,8 @@ out=$(go test -run '^$' -bench 'BenchmarkFig10$|BenchmarkFig19$|BenchmarkMitigat
 
 echo "$out" | awk -v gover="$(go version | awk '{print $3}')" \
 	-v gomaxprocs="$gomaxprocs" -v parsub="$parsub" \
-	-v cachemode="$cachemode" -v cachedir="$cachedir" '
+	-v cachemode="$cachemode" -v cachedir="$cachedir" \
+	-v shards="$shards" -v campdir="$campdir" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
@@ -57,7 +65,7 @@ echo "$out" | awk -v gover="$(go version | awk '{print $3}')" \
 	}
 }
 END {
-	printf "{\n  \"schema_version\": 1,\n  \"go\": \"%s\",\n  \"gomaxprocs\": \"%s\",\n  \"parallel_subchannels\": %s,\n  \"cache_mode\": \"%s\",\n  \"cache_dir\": \"%s\",\n  \"benchtime\": \"1x (cold, cache reset per benchmark)\",\n", gover, gomaxprocs, (parsub == "1" ? "true" : "false"), cachemode, cachedir
+	printf "{\n  \"schema_version\": 1,\n  \"go\": \"%s\",\n  \"gomaxprocs\": \"%s\",\n  \"parallel_subchannels\": %s,\n  \"cache_mode\": \"%s\",\n  \"cache_dir\": \"%s\",\n  \"shards\": %s,\n  \"campaign_dir\": \"%s\",\n  \"benchtime\": \"1x (cold, cache reset per benchmark)\",\n", gover, gomaxprocs, (parsub == "1" ? "true" : "false"), cachemode, cachedir, shards, campdir
 	printf "  \"results\": {\n"
 	for (i = 1; i <= n; i++) {
 		b = order[i]

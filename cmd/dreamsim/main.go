@@ -18,15 +18,17 @@ import (
 
 func main() {
 	var (
-		wl       = flag.String("workload", "mcf", "workload name (see -list)")
-		scheme   = flag.String("scheme", "mint-dreamr", "mitigation scheme (see -list)")
-		trh      = flag.Int("trh", 2000, "double-sided Rowhammer threshold")
-		cores    = flag.Int("cores", 8, "number of cores (rate mode)")
-		accesses = flag.Uint64("accesses", 200_000, "memory accesses per core")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		compare  = flag.Bool("compare", false, "also run the unprotected baseline and report slowdown")
-		list     = flag.Bool("list", false, "list workloads and schemes, then exit")
-		engine   = flag.String("engine", "wheel",
+		wl          = flag.String("workload", "mcf", "workload name (see -list)")
+		scheme      = flag.String("scheme", "mint-dreamr", "mitigation scheme (see -list)")
+		trh         = flag.Int("trh", 2000, "double-sided Rowhammer threshold")
+		cores       = flag.Int("cores", 8, "number of cores (rate mode)")
+		accesses    = flag.Uint64("accesses", 200_000, "memory accesses per core")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+		compare     = flag.Bool("compare", false, "also run the unprotected baseline and report slowdown")
+		list        = flag.Bool("list", false, "list workloads and schemes, then exit")
+		listSchemes = flag.Bool("list-schemes", false,
+			"list every registered mitigation scheme (with storage budget and security model), then exit")
+		engine = flag.String("engine", "wheel",
 			`event-loop engine: "wheel" (default) or "legacy" (bit-identical reference)`)
 		parallelSub = flag.Bool("parallel-subchannels", false,
 			"run same-tick sub-channel controllers on parallel goroutines (bit-identical; helps only with GOMAXPROCS > 1)")
@@ -56,6 +58,27 @@ func main() {
 		}
 	}
 
+	if *listSchemes {
+		fmt.Printf("%-22s %-14s %6s %11s %5s  %s\n",
+			"NAME", "SECURITY", "TRH>=", "KB/BANK@1K", "PRAC", "DESCRIPTION")
+		for _, m := range dream.RegisteredSchemes() {
+			trh := "-"
+			if m.Sec.GuaranteedTRH > 0 {
+				trh = fmt.Sprintf("%d", m.Sec.GuaranteedTRH)
+			}
+			kb := "-"
+			if v, ok := m.StorageKBPerBank["1000"]; ok {
+				kb = fmt.Sprintf("%.2f", v)
+			}
+			prac := ""
+			if m.PRAC {
+				prac = "yes"
+			}
+			fmt.Printf("%-22s %-14s %6s %11s %5s  %s\n",
+				m.Name, m.Sec.Kind, trh, kb, prac, m.Desc)
+		}
+		return
+	}
 	if *list {
 		fmt.Println("workloads:", strings.Join(dream.Workloads(), " "))
 		ids := make([]string, 0)

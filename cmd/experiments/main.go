@@ -49,13 +49,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runIDs    = fs.String("run", "", "experiment ID(s), comma-separated, or 'all'")
-		quick     = fs.Bool("quick", false, "reduced workload set and shorter traces")
-		seed      = fs.Uint64("seed", 0, "override the experiment seed")
-		wls       = fs.String("workloads", "", "comma-separated workload subset")
-		list      = fs.Bool("list", false, "list experiments and exit")
-		nocache   = fs.Bool("nocache", false, "disable the process-wide trace/baseline run cache (memory and disk)")
-		cacheDir  = fs.String("cache-dir", ".dreamcache",
+		runIDs      = fs.String("run", "", "experiment ID(s), comma-separated, or 'all'")
+		quick       = fs.Bool("quick", false, "reduced workload set and shorter traces")
+		seed        = fs.Uint64("seed", 0, "override the experiment seed")
+		wls         = fs.String("workloads", "", "comma-separated workload subset")
+		list        = fs.Bool("list", false, "list experiments and exit")
+		listSchemes = fs.Bool("list-schemes", false,
+			"list every registered mitigation scheme (with storage budget and security model) and exit")
+		schemes = fs.String("scheme", "",
+			"registered scheme name(s), comma-separated, appended as extra comparison columns to experiments that take them (postdream)")
+		nocache  = fs.Bool("nocache", false, "disable the process-wide trace/baseline run cache (memory and disk)")
+		cacheDir = fs.String("cache-dir", ".dreamcache",
 			`persistent result cache directory ("" disables the disk tier)`)
 		cacheMax = fs.Int64("cache-max-bytes", 0,
 			"disk cache size cap in bytes before LRU eviction (0 = 4 GiB default)")
@@ -161,6 +165,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
+	if *listSchemes {
+		printSchemeList(stdout)
+		return 0
+	}
 	if *list || *runIDs == "" {
 		fmt.Fprintln(stdout, "experiments:")
 		for _, e := range exp.Registry {
@@ -221,6 +229,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	o := exp.Options{Quick: *quick, Seed: *seed}
 	if *wls != "" {
 		o.Workloads = strings.Split(*wls, ",")
+	}
+	if *schemes != "" {
+		o.ExtraSchemes = strings.Split(*schemes, ",")
 	}
 
 	var perf []perfEntry
@@ -291,6 +302,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// printSchemeList renders the scheme registry: one row per registered
+// scheme with its analytic storage budget at T_RH = 1000 and declared
+// security model.
+func printSchemeList(w io.Writer) {
+	fmt.Fprintf(w, "%-22s %-14s %6s %11s %5s  %s\n",
+		"NAME", "SECURITY", "TRH>=", "KB/BANK@1K", "PRAC", "DESCRIPTION")
+	for _, m := range exp.SchemeMetas() {
+		trh := "-"
+		if m.Sec.GuaranteedTRH > 0 {
+			trh = fmt.Sprintf("%d", m.Sec.GuaranteedTRH)
+		}
+		kb := "-"
+		if v, ok := m.StorageKBPerBank["1000"]; ok {
+			kb = fmt.Sprintf("%.2f", v)
+		}
+		prac := ""
+		if m.PRAC {
+			prac = "yes"
+		}
+		fmt.Fprintf(w, "%-22s %-14s %6s %11s %5s  %s\n",
+			m.Name, m.Sec.Kind, trh, kb, prac, m.Desc)
+	}
 }
 
 func firstNonEmpty(a, b string) string {

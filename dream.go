@@ -27,7 +27,6 @@ import (
 	"time"
 
 	"repro/internal/addrmap"
-	dreamcore "repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dram"
 	"repro/internal/exp"
@@ -36,7 +35,6 @@ import (
 	"repro/internal/obs"
 	"repro/internal/security"
 	"repro/internal/stats"
-	"repro/internal/tracker"
 	"repro/internal/workload"
 )
 
@@ -64,57 +62,95 @@ const (
 	DreamC2x      SchemeID = "dreamc-2x"
 	ABACuS        SchemeID = "abacus"
 	MOATPRAC      SchemeID = "moat"
+	// Post-DREAM trackers (see PAPERS.md and the postdream experiment).
+	DAPPER      SchemeID = "dapper"
+	QPRAC       SchemeID = "qprac"
+	ProbInsert  SchemeID = "prob-insert"
+	ProbReplace SchemeID = "prob-replace"
+	ProbHybrid  SchemeID = "prob-hybrid"
 )
 
-// Schemes lists every built-in scheme ID.
+// Schemes lists the facade's named scheme IDs. The full roster — every
+// registered scheme, including variants without a SchemeID constant and
+// user registrations — is RegisteredSchemes.
 func Schemes() []SchemeID {
 	return []SchemeID{
 		Unprotected, PARANRR, PARADRFMsb, PARADRFMab, MINTNRR, MINTDRFMsb,
 		MINTDRFMab, DreamRPARA, DreamRMINT, DreamRMINTRL, GrapheneNRR,
 		GrapheneDRFM, DreamC, DreamCSetAssc, DreamC2x, ABACuS, MOATPRAC,
+		DAPPER, QPRAC, ProbInsert, ProbReplace, ProbHybrid,
 	}
 }
 
-func schemeFor(id SchemeID) (exp.Scheme, error) {
-	switch id {
-	case Unprotected:
-		return exp.Baseline, nil
-	case PARANRR:
-		return exp.PARAWith(tracker.ModeNRR), nil
-	case PARADRFMsb:
-		return exp.PARAWith(tracker.ModeDRFMsb), nil
-	case PARADRFMab:
-		return exp.PARAWith(tracker.ModeDRFMab), nil
-	case MINTNRR:
-		return exp.MINTWith(tracker.ModeNRR), nil
-	case MINTDRFMsb:
-		return exp.MINTWith(tracker.ModeDRFMsb), nil
-	case MINTDRFMab:
-		return exp.MINTWith(tracker.ModeDRFMab), nil
-	case DreamRPARA:
-		return exp.DreamRPARA(true), nil
-	case DreamRMINT:
-		return exp.DreamRMINT(true, false), nil
-	case DreamRMINTRL:
-		return exp.DreamRMINT(true, true), nil
-	case GrapheneNRR:
-		return exp.GrapheneWith(tracker.ModeNRR), nil
-	case GrapheneDRFM:
-		return exp.GrapheneWith(tracker.ModeDRFMsb), nil
-	case DreamC:
-		return exp.DreamC(dreamcore.GroupRandomized, 1, false), nil
-	case DreamCSetAssc:
-		return exp.DreamC(dreamcore.GroupSetAssociative, 1, false), nil
-	case DreamC2x:
-		return exp.DreamC(dreamcore.GroupRandomized, 2, false), nil
-	case ABACuS:
-		return exp.ABACuS(), nil
-	case MOATPRAC:
-		return exp.MOAT(), nil
-	default:
-		return exp.Scheme{}, fmt.Errorf("dream: unknown scheme %q", id)
-	}
+// schemeAliases maps facade SchemeID spellings that predate the registry
+// onto registered names. Every other SchemeID is already a registered name.
+var schemeAliases = map[SchemeID]string{
+	DreamC:        "dreamc-randomized",
+	DreamCSetAssc: "dreamc-set-assoc",
+	DreamC2x:      "dreamc-randomized-2x",
 }
+
+func schemeFor(id SchemeID) (exp.Scheme, error) {
+	name := string(id)
+	if alias, ok := schemeAliases[id]; ok {
+		name = alias
+	}
+	sc, ok := exp.SchemeByName(name)
+	if !ok {
+		return exp.Scheme{}, fmt.Errorf("dream: unknown scheme %q (RegisteredSchemes lists every name)", id)
+	}
+	return sc, nil
+}
+
+// Scheme-registry vocabulary, re-exported so custom trackers register
+// through the facade without importing internals. A SchemeDescriptor's Build
+// receives the run's SchemeEnv (threshold, geometry, window-scaled
+// thresholds, the per-sub-channel RNG) and returns one Mitigator per
+// sub-channel.
+type (
+	// SchemeEnv is the per-run environment a registered Build receives.
+	SchemeEnv = exp.Env
+	// SchemeDescriptor carries a scheme's constructor plus its declared
+	// storage accounting and security model.
+	SchemeDescriptor = exp.Descriptor
+	// SecurityModel declares what a scheme guarantees (see SecurityKind).
+	SecurityModel = exp.SecurityModel
+	// SecurityKind classifies a SecurityModel.
+	SecurityKind = exp.SecurityKind
+	// SchemeMeta is one registry listing row (RegisteredSchemes).
+	SchemeMeta = exp.SchemeMeta
+)
+
+// SecurityKind values, re-exported.
+const (
+	SecurityNone          = exp.SecurityNone
+	SecurityDeterministic = exp.SecurityDeterministic
+	SecurityProbabilistic = exp.SecurityProbabilistic
+)
+
+// RegisterScheme adds a custom mitigation scheme to the process-wide
+// registry under name, making it a first-class peer of the built-ins: usable
+// as Config.Scheme, runnable by every CLI via -scheme, listed by
+// -list-schemes and GET /v1/schemes, and — because registered builds are
+// identified by name — cacheable and campaign-shardable. The contract that
+// buys: the name must be a complete identity for behavior. Build must be
+// pure (same Env and sub always yield an equivalent mitigator; randomness
+// only via Env.RNG), and any behavior change must change the name.
+//
+// Names are lowercase [a-z0-9] words separated by single dashes. Duplicate
+// registrations (including collisions with built-ins) are rejected.
+// Typically called from an init function or early in main; see
+// examples/customtracker.
+func RegisterScheme(name string, d SchemeDescriptor) error { return exp.Register(name, d) }
+
+// MustRegisterScheme is RegisterScheme, panicking on error — for init-time
+// registration of names known to be valid.
+func MustRegisterScheme(name string, d SchemeDescriptor) { exp.MustRegister(name, d) }
+
+// RegisteredSchemes lists every registered scheme (built-in and user),
+// sorted by name, with descriptors' declared security model and
+// storage-budget accounting evaluated at reference thresholds.
+func RegisteredSchemes() []SchemeMeta { return exp.SchemeMetas() }
 
 // Config describes one simulation through the facade. The zero value of
 // every sizing field means "use the documented default" (see withDefaults);
@@ -278,7 +314,8 @@ func (c Config) withDefaults() Config {
 // Validate reports whether the configuration is runnable. Zero values are
 // legal everywhere they have defaults (a zero TRH means 2000, not an error);
 // set values must be in range. An empty Scheme is allowed — SimulateCustom
-// supplies its own mitigator — but a non-empty Scheme must name a built-in.
+// supplies its own mitigator — but a non-empty Scheme must name a
+// registered scheme (built-in or RegisterScheme'd).
 func (c Config) Validate() error {
 	if c.TRH != 0 && c.TRH < 4 {
 		return fmt.Errorf("dream: TRH %d out of range (trackers need TRH >= 4)", c.TRH)
@@ -601,8 +638,10 @@ const (
 // SimulateCustom runs a workload under a user-provided mitigator factory
 // (one mitigator per sub-channel).
 //
-// Deprecated: equivalent to SimulateCustomContext(context.Background(),
-// cfg, build); retained so existing callers keep compiling.
+// Deprecated: register the tracker with RegisterScheme and set Config.Scheme
+// instead — registered schemes are cacheable, shardable, and reachable from
+// the CLIs and dreamd, none of which a one-off factory closure can be.
+// Retained as a working wrapper so existing callers keep compiling.
 func SimulateCustom(cfg Config, build func(sub int) Mitigator) (Result, error) {
 	return SimulateCustomContext(context.Background(), cfg, build)
 }
@@ -610,6 +649,8 @@ func SimulateCustom(cfg Config, build func(sub int) Mitigator) (Result, error) {
 // SimulateCustomContext is SimulateCustom under a context (see
 // SimulateContext for the cancellation contract). Config.Scheme is ignored;
 // the build factory supplies the mitigators.
+//
+// Deprecated: prefer RegisterScheme + SimulateContext (see SimulateCustom).
 func SimulateCustomContext(ctx context.Context, cfg Config, build func(sub int) Mitigator) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {

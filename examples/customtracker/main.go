@@ -1,11 +1,15 @@
 // Customtracker: implement a user-defined Rowhammer tracker against the
-// public Mitigator hook and run it through the full simulator.
+// public Mitigator hook, register it as a named scheme, and run it through
+// the full simulator.
 //
 // The tracker here is a deliberately simple "counter-PARA": a small table
 // of per-bank saturating counters (indexed by hashed row) that issues a
 // coupled DRFMsb when any counter crosses half the threshold. It is *not* a
 // secure design — the point is to show the extension surface: OnActivate
-// decisions, sampling callbacks, and storage accounting.
+// decisions, sampling callbacks, storage accounting, and the registry path
+// that makes a custom tracker a first-class peer of the built-ins (usable
+// as Config.Scheme, cacheable, listed by -list-schemes and /v1/schemes,
+// shardable across dreamd).
 package main
 
 import (
@@ -75,20 +79,48 @@ func (c *counterPARA) StorageBits() int64 {
 	return int64(len(c.counts)) * int64(len(c.counts[0])) * 10
 }
 
+// The registry path: register once (typically from init), then the scheme is
+// addressable by name everywhere a built-in is. The purity contract in
+// return: Build must depend only on its arguments (randomness via env.RNG),
+// and the name must bake in every parameter — here the slot count and
+// threshold are fixed, so "example-counter-para" fully identifies behavior.
+func init() {
+	dream.MustRegisterScheme("example-counter-para", dream.SchemeDescriptor{
+		Build: func(env dream.SchemeEnv, sub int) (dream.Mitigator, error) {
+			return newCounterPARA(env.Banks, 256, 48), nil
+		},
+		Security: dream.SecurityModel{Kind: dream.SecurityProbabilistic,
+			Note: "toy example; hash aliasing makes it insecure by design"},
+		Desc: "example counter-PARA tracker from examples/customtracker",
+	})
+}
+
 func main() {
-	res, err := dream.SimulateCustom(dream.Config{
+	cfg := dream.Config{
 		Workload: "omnetpp",
+		Scheme:   "example-counter-para",
 		TRH:      2000,
 		Seed:     11,
-	}, func(sub int) dream.Mitigator {
-		return newCounterPARA(32, 256, 48)
-	})
+	}
+	res, err := dream.Simulate(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("custom tracker on omnetpp: IPC sum %.3f, ACTs %d, DRFMsb %d, RLP %.2f\n",
 		res.IPCSum(), res.Activations, res.DRFMsbs, res.RLP)
 	fmt.Printf("storage: %.1f KB per sub-channel\n", float64(res.StorageBits)/8/1024)
+
+	// The deprecated factory-closure path still works — same tracker, no
+	// registration — but a closure has no name, so it cannot be cached,
+	// listed, or dispatched to a dreamd shard. Prefer RegisterScheme.
+	legacy, err := dream.SimulateCustom(dream.Config{Workload: "omnetpp", TRH: 2000, Seed: 11},
+		func(sub int) dream.Mitigator { return newCounterPARA(32, 256, 48) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same run via deprecated SimulateCustom: IPC sum %.3f (registered path: %.3f)\n",
+		legacy.IPCSum(), res.IPCSum())
+
 	fmt.Println("\nAny type implementing the Mitigator interface plugs into the controller;")
 	fmt.Println("see internal/core for the real DREAM-R and DREAM-C implementations.")
 }

@@ -8,12 +8,9 @@ import (
 	"io"
 	"math"
 	"strconv"
-	"sync"
 
-	dreamcore "repro/internal/core"
 	"repro/internal/runcache"
 	"repro/internal/stats"
-	"repro/internal/tracker"
 )
 
 // A campaign is a figure's grid turned into a first-class job set: the
@@ -35,7 +32,8 @@ func KeyGeneration() string { return runcache.KeyGeneration() }
 
 // CampaignCell is one serializable grid cell: a single simulation fully
 // specified by value. Scheme travels by name (resolved through SchemeByName,
-// so only the built-in pure constructors are reachable), and WindowScale by
+// so any registered scheme — built-in or user — is reachable on shards whose
+// binaries register it; the client preflights rosters), and WindowScale by
 // its exact float64 bit pattern — the planner derives it from the measured
 // baseline and stamps it in, so a remote shard never needs the baseline to
 // execute a scheme cell.
@@ -242,52 +240,6 @@ func PlanGridSchemes(wls []string, schemes []string, trh, cores int, accesses, s
 	return cells
 }
 
-// --- scheme registry ----------------------------------------------------------
-
-// schemeRegistry maps every built-in pure scheme name to its constructed
-// Scheme, so a cell can travel as a name and be rebuilt on any peer. Built
-// lazily: constructing a Scheme is cheap but there is no reason to do it
-// before the first campaign.
-var schemeRegistry struct {
-	once sync.Once
-	m    map[string]Scheme
-}
-
-// SchemeByName resolves a built-in scheme constructor's product by its name
-// ("mint-dreamr", "dreamc-randomized-2x", ...). Only pure schemes — whose
-// name is a complete content identity — are registered; facade custom
-// schemes are process-local closures and deliberately unreachable by name.
-func SchemeByName(name string) (Scheme, bool) {
-	schemeRegistry.once.Do(func() {
-		m := make(map[string]Scheme)
-		add := func(s Scheme) { m[s.Name] = s }
-		add(Baseline)
-		for _, mode := range []tracker.Mode{tracker.ModeNRR, tracker.ModeDRFMsb, tracker.ModeDRFMab} {
-			add(PARAWith(mode))
-			add(MINTWith(mode))
-			add(GrapheneWith(mode))
-		}
-		add(DreamRPARA(true))
-		add(DreamRPARA(false))
-		for _, atm := range []bool{true, false} {
-			for _, rmaq := range []bool{true, false} {
-				add(DreamRMINT(atm, rmaq))
-			}
-		}
-		for _, kind := range []dreamcore.DRFMKind{dreamcore.DRFMsb, dreamcore.DRFMab} {
-			add(dreamRMINTKind(kind))
-		}
-		for _, g := range []dreamcore.Grouping{dreamcore.GroupSetAssociative, dreamcore.GroupRandomized} {
-			for _, mult := range []int{1, 2, 4} {
-				for _, rmaq := range []bool{false, true} {
-					add(DreamC(g, mult, rmaq))
-				}
-			}
-		}
-		add(ABACuS())
-		add(MOAT())
-		schemeRegistry.m = m
-	})
-	s, ok := schemeRegistry.m[name]
-	return s, ok
-}
+// The scheme registry — the namespace campaign cells resolve their scheme
+// names through — lives in registry.go; the built-in roster is seeded by
+// schemes.go at init.

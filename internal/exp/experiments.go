@@ -26,6 +26,10 @@ type Options struct {
 	// alternative execution backend (dreamctl's sharded fan-out across dreamd
 	// endpoints); nil executes in-process on the shared worker pool.
 	Executor Executor
+	// ExtraSchemes appends registered scheme names as extra comparison
+	// columns to experiments that support it (postdream); unknown names are
+	// an error. This is how user-registered trackers join the figures.
+	ExtraSchemes []string
 }
 
 func (o Options) out() io.Writer { return o.Out }
@@ -135,6 +139,7 @@ var Registry = []Experiment{
 	{"ablation-grouping", "Ablation: DCT grouping functions and entry multipliers", AblationGrouping},
 	{"ablation-pagepolicy", "Ablation: MOP close-after-N page policy", AblationPagePolicy},
 	{"ablation-drfmkind", "Ablation: DREAM-R over DRFMsb vs DRFMab", AblationDRFMKind},
+	{"postdream", "Post-DREAM trackers (DAPPER, QPRAC, prob policies) vs DREAM at equal storage", PostDream},
 }
 
 // Find returns the experiment with the given ID.

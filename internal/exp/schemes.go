@@ -5,6 +5,7 @@ import (
 
 	dreamcore "repro/internal/core"
 	"repro/internal/memctrl"
+	"repro/internal/security"
 	"repro/internal/tracker"
 )
 
@@ -166,4 +167,134 @@ func lower(s string) string {
 		}
 	}
 	return string(b)
+}
+
+// --- built-in roster registration --------------------------------------------
+
+// registerBuiltin seeds one constructor's product into the registry: the
+// Scheme supplies name, builder, and PRAC flag (so the registry entry is
+// bit-identical to what the constructor returns), the Descriptor supplies
+// the metadata the constructor does not carry.
+func registerBuiltin(s Scheme, d Descriptor) {
+	d.Build = s.Build
+	d.PRAC = s.PRAC
+	if err := register(s.Name, d, true); err != nil {
+		panic(err)
+	}
+}
+
+// zeroKB marks schemes whose controller SRAM is deliberately zero (stateless
+// samplers, in-DRAM counters) — distinct from nil, which means unaccounted.
+func zeroKB(int) float64 { return 0 }
+
+// init registers the built-in roster. Registration happens at package init —
+// before any user of this package can call Register — so a third-party
+// scheme can never shadow a built-in name, and the roster names (and
+// therefore every campaign plan hash) are exactly those the hard-coded map
+// produced before the registry existed.
+func init() {
+	registerBuiltin(Baseline, Descriptor{
+		Security: SecurityModel{Kind: SecurityNone},
+		Desc:     "unprotected baseline",
+	})
+
+	for _, mode := range []tracker.Mode{tracker.ModeNRR, tracker.ModeDRFMsb, tracker.ModeDRFMab} {
+		m := lower(mode.String())
+		registerBuiltin(PARAWith(mode), Descriptor{
+			StorageKBPerBank: zeroKB,
+			Security: SecurityModel{Kind: SecurityProbabilistic, GuaranteedTRH: 4,
+				Note: "p = 20/T_RH per ACT"},
+			Desc: "coupled PARA sampler over " + m,
+		})
+		registerBuiltin(MINTWith(mode), Descriptor{
+			StorageKBPerBank: zeroKB,
+			Security: SecurityModel{Kind: SecurityProbabilistic, GuaranteedTRH: 4,
+				Note: "one selection per T_RH/20-ACT window"},
+			Desc: "coupled MINT sampler over " + m,
+		})
+		registerBuiltin(GrapheneWith(mode), Descriptor{
+			StorageKBPerBank: security.GrapheneKBPerBank,
+			Security: SecurityModel{Kind: SecurityDeterministic, GuaranteedTRH: 4,
+				Note: "space-saving overestimate"},
+			Desc: "Misra-Gries counter tracker over " + m,
+		})
+	}
+
+	dreamRStorage := func(rmaq bool) func(int) float64 {
+		return func(trh int) float64 {
+			b := security.ATMBytesPerBank()
+			if rmaq {
+				b += security.RMAQBytesPerBank(security.MINTWindow(trh))
+			}
+			return b / 1024
+		}
+	}
+	registerBuiltin(DreamRPARA(true), Descriptor{
+		StorageKBPerBank: dreamRStorage(false),
+		Security: SecurityModel{Kind: SecurityProbabilistic, GuaranteedTRH: 4,
+			Note: "decoupled PARA; ATM covers the DRFM delay"},
+		Desc: "DREAM-R over PARA (directed refresh, ATM)",
+	})
+	registerBuiltin(DreamRPARA(false), Descriptor{
+		StorageKBPerBank: zeroKB,
+		Security: SecurityModel{Kind: SecurityProbabilistic, GuaranteedTRH: 4,
+			Note: "decoupled PARA with revised probability"},
+		Desc: "DREAM-R over PARA (revised parameters, no ATM)",
+	})
+	for _, atm := range []bool{true, false} {
+		for _, rmaq := range []bool{true, false} {
+			desc := "DREAM-R over MINT"
+			if !atm {
+				desc += ", revised window"
+			}
+			if rmaq {
+				desc += ", RMAQ rate limit"
+			}
+			registerBuiltin(DreamRMINT(atm, rmaq), Descriptor{
+				StorageKBPerBank: dreamRStorage(rmaq),
+				Security: SecurityModel{Kind: SecurityProbabilistic, GuaranteedTRH: 4,
+					Note: "decoupled MINT"},
+				Desc: desc,
+			})
+		}
+	}
+	for _, kind := range []dreamcore.DRFMKind{dreamcore.DRFMsb, dreamcore.DRFMab} {
+		registerBuiltin(dreamRMINTKind(kind), Descriptor{
+			StorageKBPerBank: dreamRStorage(false),
+			Security: SecurityModel{Kind: SecurityProbabilistic, GuaranteedTRH: 4,
+				Note: "decoupled MINT"},
+			Desc: "DREAM-R over MINT via explicit " + lower(kind.String()),
+		})
+	}
+
+	for _, g := range []dreamcore.Grouping{dreamcore.GroupSetAssociative, dreamcore.GroupRandomized} {
+		for _, mult := range []int{1, 2, 4} {
+			for _, rmaq := range []bool{false, true} {
+				mult := mult
+				desc := fmt.Sprintf("DREAM-C (%s grouping, %dx DCT entries)", g, mult)
+				if rmaq {
+					desc += " with RMAQ"
+				}
+				registerBuiltin(DreamC(g, mult, rmaq), Descriptor{
+					StorageKBPerBank: func(trh int) float64 { return security.DreamCKBPerBank(trh, mult) },
+					Security: SecurityModel{Kind: SecurityDeterministic, GuaranteedTRH: 4,
+						Note: "gang counter bounds every group"},
+					Desc: desc,
+				})
+			}
+		}
+	}
+
+	registerBuiltin(ABACuS(), Descriptor{
+		StorageKBPerBank: security.ABACuSKBPerBank,
+		Security: SecurityModel{Kind: SecurityDeterministic, GuaranteedTRH: 4,
+			Note: "shared row-ID counters"},
+		Desc: "ABACuS shared-counter tracker (section 5.8 comparison)",
+	})
+	registerBuiltin(MOAT(), Descriptor{
+		StorageKBPerBank: zeroKB,
+		Security: SecurityModel{Kind: SecurityDeterministic, GuaranteedTRH: 4,
+			Note: "in-DRAM PRAC counters, ABO backstop"},
+		Desc: "MOAT over PRAC timings (section 7.1 comparison)",
+	})
 }

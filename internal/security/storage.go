@@ -114,6 +114,72 @@ func StorageRatio(a, b float64) (float64, error) {
 	return a / b, nil
 }
 
+// --- post-DREAM trackers (PAPERS.md) -----------------------------------------
+//
+// DAPPER and the probabilistic policy family are sized to DREAM-C's Table-6
+// budget so the postdream comparison figure is equal-storage by
+// construction; QPRAC inherits PRAC's in-DRAM counters and pays only a
+// per-bank priority queue.
+
+// DAPPEREntries sizes DAPPER's per-bank space-saving table to DREAM-C's
+// per-bank budget at the same threshold: entries = budget-bits / entry-bits,
+// with a 17-bit row tag plus a T_RH/2-wide counter per entry.
+func DAPPEREntries(trh int) int {
+	budgetBits := DreamCKBPerBank(trh, 1) * 8 * 1024
+	entryBits := RowAddrBits + ceilLog2(trh/2+1)
+	n := int(budgetBits) / entryBits
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// DAPPERKBPerBank reports the storage the DAPPEREntries sizing actually
+// spends — by construction at most DreamCKBPerBank(trh, 1).
+func DAPPERKBPerBank(trh int) float64 {
+	bits := DAPPEREntries(trh) * (RowAddrBits + ceilLog2(trh/2+1))
+	return float64(bits) / 8 / 1024
+}
+
+// QPRACQueueDepth is the per-bank priority-queue capacity the experiments
+// use.
+const QPRACQueueDepth = 4
+
+// QPRACKBPerBank reports QPRAC's controller SRAM: the per-bank priority
+// queue only (row tag + ETH-wide counter per slot); the activation counters
+// are PRAC rows inside the DRAM array.
+func QPRACKBPerBank(trh int) float64 {
+	bits := QPRACQueueDepth * (RowAddrBits + ceilLog2(trh/2+1))
+	return float64(bits) / 8 / 1024
+}
+
+// ProbEntries sizes the probabilistic policy family's per-bank table to the
+// same DREAM-C budget as DAPPER (the policies' point is doing more with the
+// same small table, not using a different one).
+func ProbEntries(trh int) int { return DAPPEREntries(trh) }
+
+// ProbKBPerBank reports the probabilistic table's storage spend.
+func ProbKBPerBank(trh int) float64 { return DAPPERKBPerBank(trh) }
+
+// ProbEvasionProb bounds the probability that an aggressor row dodges
+// tracking through n independent admission flips at probability p: (1-p)^n.
+// With p = 1/8 and the T_RH/2 activations a full attack needs, the evasion
+// probability is astronomically small — the policy's security argument.
+func ProbEvasionProb(p float64, n int) float64 {
+	if p <= 0 || p > 1 || n < 0 {
+		return 1
+	}
+	out := 1.0
+	q := 1 - p
+	for i := 0; i < n; i++ {
+		out *= q
+		if out == 0 {
+			break
+		}
+	}
+	return out
+}
+
 // ATMBytesPerBank is the §4.4 ATM cost (~3 bytes per bank).
 func ATMBytesPerBank() float64 { return float64(5+RowAddrBits+1) / 8 }
 

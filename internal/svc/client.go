@@ -91,6 +91,13 @@ func (c *CampaignClient) ExecCells(ctx context.Context, cells []exp.CampaignCell
 	for _, ep := range c.Endpoints {
 		live = append(live, strings.TrimRight(ep, "/"))
 	}
+	live = c.validateSchemes(ctx, httpc, live, cells)
+	if len(live) == 0 {
+		for i := range out {
+			out[i].Err = errors.New("svc: no shard registers every scheme this plan references (see each shard's GET /v1/schemes)")
+		}
+		return out
+	}
 
 	for round := 0; round < rounds && len(live) > 0 && ctx.Err() == nil; round++ {
 		// Sub-plan: the cells still unresolved, with their original indices.
@@ -190,6 +197,70 @@ func (c *CampaignClient) ExecCells(ctx context.Context, cells []exp.CampaignCell
 		}
 	}
 	return out
+}
+
+// validateSchemes preflights the plan's scheme names against each shard's
+// GET /v1/schemes roster and drops shards missing any of them — posting a
+// cell whose scheme a shard never registered can only fail there, and with
+// custom registrations different binaries legitimately carry different
+// rosters. The check is advisory: a shard whose roster cannot be fetched
+// (older dreamd, transient error) is kept and the campaign's own error
+// handling covers it.
+func (c *CampaignClient) validateSchemes(ctx context.Context, httpc *http.Client,
+	live []string, cells []exp.CampaignCell) []string {
+	needed := make(map[string]bool)
+	for _, cell := range cells {
+		needed[cell.Scheme] = true
+	}
+	kept := live[:0]
+	for _, ep := range live {
+		names, err := fetchSchemeNames(ctx, httpc, ep)
+		if err != nil {
+			kept = append(kept, ep)
+			continue
+		}
+		missing := ""
+		for n := range needed {
+			if !names[n] {
+				missing = n
+				break
+			}
+		}
+		if missing != "" {
+			harness.Noticef("campaign-schemes-"+ep,
+				"dreamctl: dropping shard %s: scheme %q not registered there", ep, missing)
+			continue
+		}
+		kept = append(kept, ep)
+	}
+	return kept
+}
+
+// fetchSchemeNames retrieves one shard's registered scheme names.
+func fetchSchemeNames(ctx context.Context, httpc *http.Client, endpoint string) (map[string]bool, error) {
+	rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, endpoint+"/v1/schemes", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("svc: shard %s: %s", endpoint, resp.Status)
+	}
+	var body schemesResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err != nil {
+		return nil, err
+	}
+	names := make(map[string]bool, len(body.Schemes))
+	for _, m := range body.Schemes {
+		names[m.Name] = true
+	}
+	return names, nil
 }
 
 // streamOne posts the sub-plan to one shard and feeds its JSONL stream into

@@ -84,6 +84,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	mux.HandleFunc("POST /v1/attack", s.handleAttack)
 	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
+	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -185,6 +186,17 @@ func (s *Service) serve(w http.ResponseWriter, r *http.Request, class, key strin
 		ElapsedMS: elapsed.Milliseconds(),
 		Result:    raw,
 	})
+}
+
+// schemesResponse is the GET /v1/schemes payload: this shard's full scheme
+// roster with descriptor metadata. Campaign clients preflight against it so
+// cells naming a scheme a shard has never registered are not posted there.
+type schemesResponse struct {
+	Schemes []exp.SchemeMeta `json:"schemes"`
+}
+
+func (s *Service) handleSchemes(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, schemesResponse{Schemes: exp.SchemeMetas()})
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {

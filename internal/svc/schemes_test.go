@@ -1,0 +1,127 @@
+package svc
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func TestSchemesEndpoint(t *testing.T) {
+	s := startService(t, Options{Workers: 1, QueueDepth: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/schemes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body schemesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]exp.SchemeMeta, len(body.Schemes))
+	for _, m := range body.Schemes {
+		byName[m.Name] = m
+	}
+	for _, want := range []string{"base", "mint-dreamr", "dreamc-randomized", "dapper", "qprac", "prob-hybrid"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("scheme %q missing from /v1/schemes", want)
+		}
+	}
+	// Descriptor metadata must survive the wire: the listing is what remote
+	// clients key UI and preflight decisions on.
+	if m := byName["graphene-nrr"]; m.Sec.Kind != exp.SecurityDeterministic || m.StorageKBPerBank["1000"] <= 0 {
+		t.Errorf("graphene-nrr wire meta = %+v", m)
+	}
+	if m := byName["qprac"]; !m.PRAC {
+		t.Error("qprac wire meta lost the PRAC flag")
+	}
+}
+
+// fakeShard serves a fixed /v1/schemes roster and counts /v1/campaign posts.
+func fakeShard(t *testing.T, roster []string, campaignPosts *atomic.Int64) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/schemes", func(w http.ResponseWriter, _ *http.Request) {
+		var metas []exp.SchemeMeta
+		for _, n := range roster {
+			metas = append(metas, exp.SchemeMeta{Name: n})
+		}
+		writeJSON(w, http.StatusOK, schemesResponse{Schemes: metas})
+	})
+	mux.HandleFunc("POST /v1/campaign", func(w http.ResponseWriter, _ *http.Request) {
+		campaignPosts.Add(1)
+		writeErr(w, http.StatusBadRequest, &errBody{Kind: errValidation, Message: "fake shard"})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestCampaignClientSchemePreflight(t *testing.T) {
+	s := startService(t, Options{Workers: 2, QueueDepth: 8})
+	real := httptest.NewServer(s.Handler())
+	defer real.Close()
+
+	var stalePosts atomic.Int64
+	stale := fakeShard(t, []string{"base"}, &stalePosts) // missing para-nrr
+
+	cells := testCells(0x5c4e3e, "base", "para-nrr")
+	client := &CampaignClient{Endpoints: []string{stale.URL, real.URL}, RetryRounds: 1}
+	results := client.ExecCells(context.Background(), cells)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("cell %d: %v", i, r.Err)
+		}
+	}
+	if n := stalePosts.Load(); n != 0 {
+		t.Errorf("preflight posted %d campaigns to a shard missing the scheme", n)
+	}
+}
+
+func TestCampaignClientPreflightAllShardsMissing(t *testing.T) {
+	var posts atomic.Int64
+	only := fakeShard(t, []string{"base"}, &posts)
+	cells := testCells(0x5c4e3f, "para-nrr")
+	client := &CampaignClient{Endpoints: []string{only.URL}, RetryRounds: 1}
+	results := client.ExecCells(context.Background(), cells)
+	if results[0].Err == nil {
+		t.Fatal("want an error when no shard registers the plan's scheme")
+	}
+	if posts.Load() != 0 {
+		t.Errorf("posted %d campaigns despite a failed preflight", posts.Load())
+	}
+}
+
+func TestCampaignClientPreflightIsAdvisory(t *testing.T) {
+	// A shard without /v1/schemes (older dreamd) must still be used: the
+	// preflight is advisory, not a protocol requirement.
+	s := startService(t, Options{Workers: 2, QueueDepth: 8})
+	inner := s.Handler()
+	noSchemes := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/schemes" {
+			http.NotFound(w, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer noSchemes.Close()
+
+	cells := testCells(0x5c4e40, "base", "para-nrr")
+	client := &CampaignClient{Endpoints: []string{noSchemes.URL}, RetryRounds: 1}
+	results := client.ExecCells(context.Background(), cells)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("cell %d: %v", i, r.Err)
+		}
+	}
+}
